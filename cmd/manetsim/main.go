@@ -1,0 +1,123 @@
+// Command manetsim runs a single simulation scenario and prints its
+// measurements.
+//
+// Examples:
+//
+//	manetsim -topology chain -hops 7 -protocol vegas -bandwidth 2
+//	manetsim -topology grid -protocol newreno -thinning -bandwidth 11
+//	manetsim -topology chain -hops 7 -protocol udp -gap 36ms
+//	manetsim -topology random -protocol vegas -packets 110000 -batch 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"manetsim"
+)
+
+func main() {
+	var (
+		topology  = flag.String("topology", "chain", "topology: chain, grid, random")
+		hops      = flag.Int("hops", 7, "chain length in hops")
+		protocol  = flag.String("protocol", "vegas", "transport: vegas, newreno, reno, tahoe, udp")
+		thinning  = flag.Bool("thinning", false, "enable dynamic ACK thinning (TCP)")
+		delack    = flag.Bool("delack", false, "enable standard RFC 1122 delayed ACKs (TCP)")
+		alpha     = flag.Int("alpha", 2, "Vegas alpha=beta=gamma threshold [packets]")
+		maxWin    = flag.Int("maxwin", 0, "artificial window bound (NewReno optimal window); 0 = off")
+		gap       = flag.Duration("gap", 36*time.Millisecond, "paced UDP inter-packet time")
+		bandwidth = flag.Float64("bandwidth", 2, "channel bandwidth in Mbit/s: 2, 5.5 or 11")
+		seed      = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		packets   = flag.Int64("packets", 11000, "packets to deliver (paper: 110000)")
+		batch     = flag.Int64("batch", 0, "batch size (default packets/11; paper: 10000)")
+		static    = flag.Bool("static-routes", false, "use precomputed shortest-path routes instead of AODV")
+		nocapture = flag.Bool("no-capture", false, "disable the PHY 10 dB capture rule (ablation)")
+		quiet     = flag.Bool("q", false, "print only the summary line")
+	)
+	flag.Parse()
+
+	cfg := manetsim.Config{
+		Seed:         *seed,
+		TotalPackets: *packets,
+		BatchPackets: *batch,
+		NoCapture:    *nocapture,
+	}
+	switch strings.ToLower(*topology) {
+	case "chain":
+		cfg.Topology = manetsim.Chain(*hops)
+	case "grid":
+		cfg.Topology = manetsim.Grid()
+	case "random":
+		cfg.Topology = manetsim.Random()
+	default:
+		fatalf("unknown topology %q", *topology)
+	}
+	switch *bandwidth {
+	case 2:
+		cfg.Bandwidth = manetsim.Rate2Mbps
+	case 5.5:
+		cfg.Bandwidth = manetsim.Rate5_5Mbps
+	case 11:
+		cfg.Bandwidth = manetsim.Rate11Mbps
+	default:
+		fatalf("bandwidth must be 2, 5.5 or 11 (Mbit/s)")
+	}
+	switch strings.ToLower(*protocol) {
+	case "vegas":
+		cfg.Transport = manetsim.TransportSpec{Protocol: manetsim.Vegas, Alpha: *alpha, AckThinning: *thinning, DelayedAck: *delack}
+	case "newreno":
+		cfg.Transport = manetsim.TransportSpec{Protocol: manetsim.NewReno, AckThinning: *thinning, DelayedAck: *delack, MaxWindow: *maxWin}
+	case "reno":
+		cfg.Transport = manetsim.TransportSpec{Protocol: manetsim.Reno, AckThinning: *thinning, DelayedAck: *delack}
+	case "tahoe":
+		cfg.Transport = manetsim.TransportSpec{Protocol: manetsim.Tahoe, AckThinning: *thinning, DelayedAck: *delack}
+	case "udp":
+		cfg.Transport = manetsim.TransportSpec{Protocol: manetsim.PacedUDP, UDPGap: *gap}
+	default:
+		fatalf("unknown protocol %q", *protocol)
+	}
+	if *static {
+		cfg.Routing = manetsim.RoutingStatic
+	}
+
+	start := time.Now()
+	res, err := manetsim.Run(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("%s over %s at %.1f Mbit/s (seed %d): goodput %.1f kbit/s (±%.1f)\n",
+		cfg.Transport.Name(), *topology, *bandwidth, *seed,
+		res.AggGoodput.Mean/1e3, res.AggGoodput.HalfCI/1e3)
+	if *quiet {
+		return
+	}
+	fmt.Printf("  delivered          %d packets in %v simulated (%v wall)\n",
+		res.Delivered, res.SimTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  avg window         %.2f packets (±%.2f)\n", res.AvgWindow.Mean, res.AvgWindow.HalfCI)
+	fmt.Printf("  retransmissions    %.4f per delivered packet (±%.4f)\n", res.Rtx.Mean, res.Rtx.HalfCI)
+	fmt.Printf("  link-layer failures %.4f per attempt (±%.4f)\n", res.DropProb.Mean, res.DropProb.HalfCI)
+	fmt.Printf("  false route failures %d\n", res.FalseRouteFailures)
+	fmt.Printf("  energy             %.1f J total, %.2f J/MB\n", res.Energy.TotalJoules, res.Energy.JoulesPerMB)
+	if res.Delay.N > 0 {
+		fmt.Printf("  e2e delay          mean %v, p95 %v\n",
+			res.Delay.Mean.Round(time.Millisecond), res.Delay.P95.Round(time.Millisecond))
+	}
+	if len(res.Flows) > 1 {
+		fmt.Printf("  Jain fairness      %.3f [%.3f : %.3f]\n", res.Jain.Mean, res.Jain.Lo(), res.Jain.Hi())
+		for i, est := range res.PerFlowGood {
+			fmt.Printf("    flow %2d (%d->%d)  %.1f kbit/s\n", i+1, res.Flows[i].Src, res.Flows[i].Dst, est.Mean/1e3)
+		}
+	}
+	if res.Truncated {
+		fmt.Println("  WARNING: run truncated by MaxSimTime before reaching the packet target")
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "manetsim: "+format+"\n", args...)
+	os.Exit(2)
+}

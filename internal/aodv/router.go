@@ -1,0 +1,426 @@
+package aodv
+
+import (
+	"time"
+
+	"manetsim/internal/mac"
+	"manetsim/internal/pkt"
+	"manetsim/internal/sim"
+)
+
+// Config parameterizes the protocol. The zero value selects the defaults
+// in parentheses.
+type Config struct {
+	RREQRetries        int           // discovery attempts before giving up (3)
+	RREQTimeout        time.Duration // first-attempt reply timeout, doubling per retry (500ms)
+	ActiveRouteTimeout time.Duration // route lifetime without use (10s)
+	BufferCap          int           // per-destination send buffer (64)
+	SeenLifetime       time.Duration // RREQ duplicate-suppression window (5s)
+	TTL                int           // flood diameter bound (128; must cover the longest path)
+	MaxJitter          time.Duration // rebroadcast jitter (10ms)
+}
+
+func (c Config) withDefaults() Config {
+	if c.RREQRetries == 0 {
+		c.RREQRetries = 3
+	}
+	if c.RREQTimeout == 0 {
+		c.RREQTimeout = 500 * time.Millisecond
+	}
+	if c.ActiveRouteTimeout == 0 {
+		c.ActiveRouteTimeout = 10 * time.Second
+	}
+	if c.BufferCap == 0 {
+		c.BufferCap = 64
+	}
+	if c.SeenLifetime == 0 {
+		c.SeenLifetime = 5 * time.Second
+	}
+	if c.TTL == 0 {
+		// RFC 3561 suggests NET_DIAMETER = 35, but the paper evaluates
+		// chains up to 64 hops; the flood must span the whole network.
+		c.TTL = 128
+	}
+	if c.MaxJitter == 0 {
+		c.MaxJitter = 10 * time.Millisecond
+	}
+	return c
+}
+
+// Counters aggregates per-node routing statistics. FalseRouteFailures is
+// the paper's Figure 9 metric: in a static network every link-layer
+// failure notification tears down a route that is actually healthy.
+type Counters struct {
+	RREQSent           uint64
+	RREQForwarded      uint64
+	RREPSent           uint64
+	RREPForwarded      uint64
+	RERRSent           uint64
+	FalseRouteFailures uint64
+	NoRouteDrops       uint64 // data dropped at an intermediate node without a route
+	BufferDrops        uint64 // send-buffer overflow or discovery failure
+	DiscoveryFailures  uint64
+}
+
+// rreqKey identifies one flood for duplicate suppression.
+type rreqKey struct {
+	origin pkt.NodeID
+	id     uint32
+}
+
+// discovery tracks an in-progress route discovery at the origin.
+type discovery struct {
+	timer   *sim.Timer
+	retries int
+}
+
+// Router is the per-node AODV entity. It sits between the transport layer
+// (Send) and the MAC (HandlePacket / HandleLinkFailure callbacks).
+type Router struct {
+	sched *sim.Scheduler
+	id    pkt.NodeID
+	mac   *mac.DCF
+	cfg   Config
+	uids  *pkt.UIDSource
+
+	table   *Table
+	seqNo   uint32
+	rreqID  uint32
+	seen    map[rreqKey]sim.Time
+	buffer  map[pkt.NodeID][]*pkt.Packet
+	pending map[pkt.NodeID]*discovery
+
+	deliver func(p *pkt.Packet)
+	// DropData, if set, observes every data packet the router drops
+	// (no-route, buffer overflow, discovery failure, link failure).
+	DropData func(p *pkt.Packet)
+
+	Counters Counters
+}
+
+// New creates a router for node id. deliver receives packets addressed to
+// this node. The router must be wired to the MAC by passing
+// HandlePacket/HandleLinkFailure as the MAC callbacks.
+func New(sched *sim.Scheduler, id pkt.NodeID, m *mac.DCF, uids *pkt.UIDSource, cfg Config, deliver func(p *pkt.Packet)) *Router {
+	if deliver == nil {
+		panic("aodv: deliver callback required")
+	}
+	return &Router{
+		sched:   sched,
+		id:      id,
+		mac:     m,
+		cfg:     cfg.withDefaults(),
+		uids:    uids,
+		table:   NewTable(sched, cfg.withDefaults().ActiveRouteTimeout),
+		seen:    make(map[rreqKey]sim.Time),
+		buffer:  make(map[pkt.NodeID][]*pkt.Packet),
+		pending: make(map[pkt.NodeID]*discovery),
+		deliver: deliver,
+	}
+}
+
+// Table exposes the routing table (read-mostly; used by tests and tools).
+func (r *Router) Table() *Table { return r.table }
+
+// Send routes a locally originated packet: forward over a known route or
+// buffer it and start a discovery.
+func (r *Router) Send(p *pkt.Packet) {
+	if p.Dst == r.id {
+		r.deliver(p)
+		return
+	}
+	if rt := r.table.Lookup(p.Dst); rt != nil {
+		r.table.Refresh(p.Dst)
+		r.mac.Enqueue(p, rt.NextHop)
+		return
+	}
+	r.bufferPacket(p)
+	r.startDiscovery(p.Dst)
+}
+
+func (r *Router) bufferPacket(p *pkt.Packet) {
+	q := r.buffer[p.Dst]
+	if len(q) >= r.cfg.BufferCap {
+		r.Counters.BufferDrops++
+		r.dropData(q[0])
+		q = q[1:]
+	}
+	r.buffer[p.Dst] = append(q, p)
+}
+
+func (r *Router) dropData(p *pkt.Packet) {
+	if p.Kind.IsData() || p.Kind == pkt.KindTCPAck {
+		if r.DropData != nil {
+			r.DropData(p)
+		}
+	}
+}
+
+// startDiscovery begins or continues a route discovery toward dst.
+func (r *Router) startDiscovery(dst pkt.NodeID) {
+	if _, ok := r.pending[dst]; ok {
+		return // discovery already running
+	}
+	d := &discovery{}
+	d.timer = sim.NewTimer(r.sched, func() { r.discoveryTimeout(dst) })
+	r.pending[dst] = d
+	r.sendRREQ(dst, d)
+}
+
+func (r *Router) sendRREQ(dst pkt.NodeID, d *discovery) {
+	r.seqNo++
+	r.rreqID++
+	req := &RREQ{ID: r.rreqID, Origin: r.id, OriginSeq: r.seqNo, Dst: dst}
+	if e := r.table.Entry(dst); e != nil {
+		req.DstSeq = e.SeqNo
+		req.DstKnown = true
+	}
+	// Suppress our own flood coming back.
+	r.seen[rreqKey{origin: r.id, id: req.ID}] = r.sched.Now() + sim.Time(r.cfg.SeenLifetime)
+	p := &pkt.Packet{
+		UID:     r.uids.Next(),
+		Kind:    pkt.KindRouting,
+		Size:    RREQSize,
+		Src:     r.id,
+		Dst:     pkt.Broadcast,
+		TTL:     r.cfg.TTL,
+		Routing: req,
+	}
+	r.Counters.RREQSent++
+	r.mac.Enqueue(p, pkt.Broadcast)
+	timeout := r.cfg.RREQTimeout << uint(d.retries)
+	d.timer.Reset(sim.Time(timeout))
+}
+
+// discoveryTimeout retries the flood or gives up and flushes the buffer.
+func (r *Router) discoveryTimeout(dst pkt.NodeID) {
+	d := r.pending[dst]
+	if d == nil {
+		return
+	}
+	d.retries++
+	if d.retries < r.cfg.RREQRetries {
+		r.sendRREQ(dst, d)
+		return
+	}
+	delete(r.pending, dst)
+	r.Counters.DiscoveryFailures++
+	for _, p := range r.buffer[dst] {
+		r.Counters.BufferDrops++
+		r.dropData(p)
+	}
+	delete(r.buffer, dst)
+}
+
+// HandlePacket is the MAC's Deliver callback: process routing control or
+// forward/deliver data.
+func (r *Router) HandlePacket(p *pkt.Packet, from pkt.NodeID) {
+	if p.Kind == pkt.KindRouting {
+		switch m := p.Routing.(type) {
+		case *RREQ:
+			r.handleRREQ(p, m, from)
+		case *RREP:
+			r.handleRREP(m, from)
+		case *RERR:
+			r.handleRERR(m, from)
+		}
+		return
+	}
+	if p.Dst == r.id {
+		r.deliver(p)
+		return
+	}
+	// Forward along the table; refresh the route and the reverse route.
+	if rt := r.table.Lookup(p.Dst); rt != nil {
+		r.table.Refresh(p.Dst)
+		r.table.Refresh(p.Src)
+		r.mac.Enqueue(p, rt.NextHop)
+		return
+	}
+	// No route at an intermediate node: drop and tell the source.
+	r.Counters.NoRouteDrops++
+	r.dropData(p)
+	r.sendRERR([]pkt.NodeID{p.Dst}, []uint32{r.bumpedSeq(p.Dst)})
+}
+
+func (r *Router) bumpedSeq(dst pkt.NodeID) uint32 {
+	if e := r.table.Entry(dst); e != nil {
+		return e.SeqNo
+	}
+	return 0
+}
+
+func (r *Router) handleRREQ(p *pkt.Packet, req *RREQ, from pkt.NodeID) {
+	key := rreqKey{origin: req.Origin, id: req.ID}
+	now := r.sched.Now()
+	if exp, ok := r.seen[key]; ok && exp > now {
+		return
+	}
+	r.seen[key] = now + sim.Time(r.cfg.SeenLifetime)
+	r.gcSeen(now)
+
+	// Reverse route to the origin through the previous hop.
+	r.table.Update(req.Origin, from, req.HopCount+1, req.OriginSeq)
+	if from != req.Origin {
+		// Neighbor route for the last hop (hop count 1, unknown seq: use 0
+		// only if absent).
+		if r.table.Lookup(from) == nil {
+			r.table.Update(from, from, 1, 0)
+		}
+	}
+
+	if req.Dst == r.id {
+		// Destination replies. RFC 3561: max(own seq, RREQ's DstSeq).
+		if req.DstKnown && seqGreater(req.DstSeq, r.seqNo) {
+			r.seqNo = req.DstSeq
+		}
+		r.sendRREP(req.Origin, r.id, r.seqNo, 0, from)
+		return
+	}
+	if rt := r.table.Lookup(req.Dst); rt != nil && (!req.DstKnown || !seqGreater(req.DstSeq, rt.SeqNo)) {
+		// Intermediate node with a fresh-enough route replies on behalf of
+		// the destination.
+		r.sendRREP(req.Origin, req.Dst, rt.SeqNo, rt.HopCount, from)
+		return
+	}
+	// Rebroadcast with jitter.
+	if p.TTL <= 1 {
+		return
+	}
+	fwd := &RREQ{
+		ID: req.ID, Origin: req.Origin, OriginSeq: req.OriginSeq,
+		Dst: req.Dst, DstSeq: req.DstSeq, DstKnown: req.DstKnown,
+		HopCount: req.HopCount + 1,
+	}
+	np := &pkt.Packet{
+		UID:     r.uids.Next(),
+		Kind:    pkt.KindRouting,
+		Size:    RREQSize,
+		Src:     req.Origin,
+		Dst:     pkt.Broadcast,
+		TTL:     p.TTL - 1,
+		Routing: fwd,
+	}
+	r.Counters.RREQForwarded++
+	jitter := sim.Time(r.sched.Rand().Int63n(int64(r.cfg.MaxJitter) + 1))
+	r.sched.After(jitter, func() { r.mac.Enqueue(np, pkt.Broadcast) })
+}
+
+// gcSeen prunes expired duplicate-suppression entries opportunistically to
+// bound memory on long runs.
+func (r *Router) gcSeen(now sim.Time) {
+	if len(r.seen) < 4096 {
+		return
+	}
+	for k, exp := range r.seen {
+		if exp <= now {
+			delete(r.seen, k)
+		}
+	}
+}
+
+// sendRREP emits a reply toward origin through nextHop.
+func (r *Router) sendRREP(origin, dst pkt.NodeID, dstSeq uint32, hopCount int, nextHop pkt.NodeID) {
+	rep := &RREP{Origin: origin, Dst: dst, DstSeq: dstSeq, HopCount: hopCount}
+	p := &pkt.Packet{
+		UID:     r.uids.Next(),
+		Kind:    pkt.KindRouting,
+		Size:    RREPSize,
+		Src:     r.id,
+		Dst:     origin,
+		TTL:     r.cfg.TTL,
+		Routing: rep,
+	}
+	r.Counters.RREPSent++
+	r.mac.Enqueue(p, nextHop)
+}
+
+func (r *Router) handleRREP(rep *RREP, from pkt.NodeID) {
+	// Forward route to the replied destination.
+	r.table.Update(rep.Dst, from, rep.HopCount+1, rep.DstSeq)
+	if rep.Origin == r.id {
+		// Discovery complete: flush buffered traffic.
+		if d := r.pending[rep.Dst]; d != nil {
+			d.timer.Stop()
+			delete(r.pending, rep.Dst)
+		}
+		q := r.buffer[rep.Dst]
+		delete(r.buffer, rep.Dst)
+		for _, p := range q {
+			r.Send(p)
+		}
+		return
+	}
+	// Forward the RREP along the reverse route.
+	rt := r.table.Lookup(rep.Origin)
+	if rt == nil {
+		return
+	}
+	fwd := &RREP{Origin: rep.Origin, Dst: rep.Dst, DstSeq: rep.DstSeq, HopCount: rep.HopCount + 1}
+	p := &pkt.Packet{
+		UID:     r.uids.Next(),
+		Kind:    pkt.KindRouting,
+		Size:    RREPSize,
+		Src:     r.id,
+		Dst:     rep.Origin,
+		TTL:     r.cfg.TTL,
+		Routing: fwd,
+	}
+	r.Counters.RREPForwarded++
+	r.mac.Enqueue(p, rt.NextHop)
+}
+
+func (r *Router) handleRERR(e *RERR, from pkt.NodeID) {
+	var dsts []pkt.NodeID
+	var seqs []uint32
+	for i, dst := range e.Unreachable {
+		rt := r.table.Entry(dst)
+		if rt != nil && rt.Valid && rt.NextHop == from {
+			rt.Valid = false
+			if seqGreater(e.Seqs[i], rt.SeqNo) {
+				rt.SeqNo = e.Seqs[i]
+			}
+			dsts = append(dsts, dst)
+			seqs = append(seqs, rt.SeqNo)
+		}
+	}
+	if len(dsts) > 0 {
+		r.sendRERR(dsts, seqs)
+	}
+}
+
+// sendRERR broadcasts a route error for the given destinations.
+func (r *Router) sendRERR(dsts []pkt.NodeID, seqs []uint32) {
+	p := &pkt.Packet{
+		UID:     r.uids.Next(),
+		Kind:    pkt.KindRouting,
+		Size:    RERRSize + 8*len(dsts),
+		Src:     r.id,
+		Dst:     pkt.Broadcast,
+		TTL:     1,
+		Routing: &RERR{Unreachable: dsts, Seqs: seqs},
+	}
+	r.Counters.RERRSent++
+	r.mac.Enqueue(p, pkt.Broadcast)
+}
+
+// HandleLinkFailure is the MAC's LinkFailure callback: the link layer gave
+// up on nextHop. The route is healthy — the failure is contention-induced
+// — but AODV cannot know that, so it invalidates every route through that
+// hop, drops the queued traffic, and broadcasts an RERR (the paper's false
+// route failure).
+func (r *Router) HandleLinkFailure(p *pkt.Packet, nextHop pkt.NodeID) {
+	r.Counters.FalseRouteFailures++
+	dsts, seqs := r.table.InvalidateNextHop(nextHop)
+
+	// Drop the failed packet and everything queued behind it for the same
+	// next hop.
+	r.dropData(p)
+	flushed := r.mac.FilterQueue(func(_ *pkt.Packet, nh pkt.NodeID) bool { return nh != nextHop })
+	for _, fp := range flushed {
+		r.dropData(fp)
+	}
+	if len(dsts) > 0 {
+		r.sendRERR(dsts, seqs)
+	}
+}

@@ -1,0 +1,103 @@
+package aodv
+
+import (
+	"manetsim/internal/pkt"
+	"manetsim/internal/sim"
+)
+
+// Route is one forwarding table entry.
+type Route struct {
+	NextHop  pkt.NodeID
+	HopCount int
+	SeqNo    uint32
+	Valid    bool
+	Expiry   sim.Time
+}
+
+// Table is the per-node AODV routing table.
+type Table struct {
+	sched   *sim.Scheduler
+	entries map[pkt.NodeID]*Route
+	timeout sim.Time // active route timeout
+}
+
+// NewTable creates an empty table with the given active-route timeout.
+func NewTable(sched *sim.Scheduler, timeout sim.Time) *Table {
+	return &Table{sched: sched, entries: make(map[pkt.NodeID]*Route), timeout: timeout}
+}
+
+// Lookup returns the valid, unexpired route to dst, or nil.
+func (t *Table) Lookup(dst pkt.NodeID) *Route {
+	r := t.entries[dst]
+	if r == nil || !r.Valid || r.Expiry <= t.sched.Now() {
+		return nil
+	}
+	return r
+}
+
+// Entry returns the raw entry for dst regardless of validity, or nil.
+func (t *Table) Entry(dst pkt.NodeID) *Route { return t.entries[dst] }
+
+// Update installs or refreshes the route to dst if the new information is
+// fresher (higher sequence number) or equally fresh but shorter, or if the
+// existing entry is invalid. It reports whether the entry changed.
+func (t *Table) Update(dst, nextHop pkt.NodeID, hopCount int, seqNo uint32) bool {
+	cur := t.entries[dst]
+	fresher := cur == nil ||
+		seqGreater(seqNo, cur.SeqNo) ||
+		(seqNo == cur.SeqNo && (!cur.Valid || hopCount < cur.HopCount))
+	if !fresher {
+		// Refresh lifetime of an equivalent route through the same hop.
+		if cur != nil && cur.Valid && cur.NextHop == nextHop && seqNo == cur.SeqNo {
+			t.Refresh(dst)
+		}
+		return false
+	}
+	t.entries[dst] = &Route{
+		NextHop:  nextHop,
+		HopCount: hopCount,
+		SeqNo:    seqNo,
+		Valid:    true,
+		Expiry:   t.sched.Now() + t.timeout,
+	}
+	return true
+}
+
+// Refresh extends the lifetime of an active route (called on every use).
+func (t *Table) Refresh(dst pkt.NodeID) {
+	if r := t.entries[dst]; r != nil && r.Valid {
+		r.Expiry = t.sched.Now() + t.timeout
+	}
+}
+
+// Invalidate marks the route to dst broken, bumping its sequence number so
+// stale information cannot resurrect it. It reports whether a valid route
+// was torn down.
+func (t *Table) Invalidate(dst pkt.NodeID) bool {
+	r := t.entries[dst]
+	if r == nil || !r.Valid {
+		return false
+	}
+	r.Valid = false
+	r.SeqNo++
+	return true
+}
+
+// InvalidateNextHop tears down every valid route whose next hop is nh and
+// returns the affected destinations with their bumped sequence numbers.
+func (t *Table) InvalidateNextHop(nh pkt.NodeID) (dsts []pkt.NodeID, seqs []uint32) {
+	for dst, r := range t.entries {
+		if r.Valid && r.NextHop == nh {
+			r.Valid = false
+			r.SeqNo++
+			dsts = append(dsts, dst)
+			seqs = append(seqs, r.SeqNo)
+		}
+	}
+	return dsts, seqs
+}
+
+// seqGreater compares AODV sequence numbers with wraparound (RFC 3561 §6.1).
+func seqGreater(a, b uint32) bool {
+	return int32(a-b) > 0
+}

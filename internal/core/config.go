@@ -1,0 +1,222 @@
+// Package core is the scenario engine realizing the paper's evaluation
+// methodology: it builds a topology, attaches transport flows over the full
+// PHY/MAC/AODV stack, runs a steady-state simulation until a fixed number
+// of packets is delivered, and derives every reported metric — goodput,
+// transport retransmissions, average window, link-layer drop probability,
+// false route failures, Jain's fairness index and energy — using the
+// batch-means method with 95% confidence intervals.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"manetsim/internal/geo"
+	"manetsim/internal/phy"
+	"manetsim/internal/pkt"
+)
+
+// Protocol selects the transport variant under test.
+type Protocol int
+
+// Transport protocols: the paper's three plus the classic Reno and Tahoe
+// baselines from the related-work comparisons.
+const (
+	ProtoVegas Protocol = iota + 1
+	ProtoNewReno
+	ProtoPacedUDP
+	ProtoReno
+	ProtoTahoe
+)
+
+var protoNames = map[Protocol]string{
+	ProtoVegas:    "Vegas",
+	ProtoNewReno:  "NewReno",
+	ProtoPacedUDP: "PacedUDP",
+	ProtoReno:     "Reno",
+	ProtoTahoe:    "Tahoe",
+}
+
+// isTCP reports whether the protocol is window-based.
+func (p Protocol) isTCP() bool {
+	return p == ProtoVegas || p == ProtoNewReno || p == ProtoReno || p == ProtoTahoe
+}
+
+func (p Protocol) String() string {
+	if s, ok := protoNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("proto(%d)", int(p))
+}
+
+// TransportSpec configures the transport layer for all flows of a run.
+type TransportSpec struct {
+	Protocol    Protocol
+	AckThinning bool // Altman-Jiménez dynamic delayed ACKs (TCP only)
+	DelayedAck  bool // standard RFC 1122 delayed ACKs (TCP only)
+	// Alpha is the Vegas α=β=γ threshold in packets (default 2).
+	Alpha int
+	// MaxWindow bounds the NewReno window ("NewReno Optimal Window";
+	// paper finds MaxWin=3 optimal for the 7-hop chain). 0 = unbounded.
+	MaxWindow int
+	// UDPGap is the paced-UDP inter-packet interval (required for
+	// ProtoPacedUDP).
+	UDPGap time.Duration
+}
+
+// Name renders the spec the way the paper labels its curves.
+func (t TransportSpec) Name() string {
+	s := t.Protocol.String()
+	if t.Protocol == ProtoVegas && t.Alpha != 0 && t.Alpha != 2 {
+		s = fmt.Sprintf("%s(α=%d)", s, t.Alpha)
+	}
+	if t.MaxWindow > 0 {
+		s = fmt.Sprintf("%s(MaxWin=%d)", s, t.MaxWindow)
+	}
+	if t.AckThinning {
+		s += "+Thin"
+	}
+	if t.DelayedAck {
+		s += "+DelAck"
+	}
+	return s
+}
+
+// TopologyKind enumerates the paper's three scenarios.
+type TopologyKind int
+
+// Topology kinds.
+const (
+	TopoChain TopologyKind = iota + 1
+	TopoGrid
+	TopoRandom
+)
+
+// Topology describes node placement and the default flow set.
+type Topology struct {
+	Kind TopologyKind
+
+	// Hops applies to TopoChain.
+	Hops int
+
+	// Random topology parameters (defaults: the paper's 120 nodes on
+	// 2500x1000 m² with 10 flows).
+	RandomNodes  int
+	RandomWidth  float64
+	RandomHeight float64
+	RandomFlows  int
+}
+
+// Chain returns an h-hop chain topology.
+func Chain(hops int) Topology { return Topology{Kind: TopoChain, Hops: hops} }
+
+// Grid returns the paper's 21-node grid with 6 flows (Figure 15).
+func Grid() Topology { return Topology{Kind: TopoGrid} }
+
+// Random returns the paper's 120-node random topology with 10 flows.
+func Random() Topology {
+	return Topology{Kind: TopoRandom, RandomNodes: 120, RandomWidth: 2500, RandomHeight: 1000, RandomFlows: 10}
+}
+
+// FlowSpec is one transport connection.
+type FlowSpec struct {
+	Src, Dst pkt.NodeID
+}
+
+// RoutingKind selects the routing substrate.
+type RoutingKind int
+
+// Routing choices; AODV is the paper's configuration, static shortest-path
+// routing is the ablation.
+const (
+	RoutingAODV RoutingKind = iota
+	RoutingStatic
+)
+
+// Config fully describes one simulation run.
+type Config struct {
+	Topology  Topology
+	Bandwidth phy.Rate
+	Transport TransportSpec
+	// Flows overrides the topology's default flow set when non-nil.
+	Flows []FlowSpec
+	// PerFlowTransport, when non-nil, overrides Transport per flow (same
+	// length as the flow set). This enables protocol-coexistence studies
+	// (e.g. Vegas and NewReno competing on the grid).
+	PerFlowTransport []TransportSpec
+	Seed             int64
+
+	// Measurement methodology (paper: 110000 total, batches of 10000,
+	// first batch discarded).
+	TotalPackets  int64
+	BatchPackets  int64
+	WarmupBatches int
+
+	Routing RoutingKind
+
+	// NoCapture disables the PHY's 10 dB capture rule (ablation: any
+	// overlapping signal within interference range corrupts receptions).
+	NoCapture bool
+
+	// MaxSimTime bounds runs that cannot reach TotalPackets (e.g. a
+	// starved flow); the result is marked Truncated. Default 24h.
+	MaxSimTime time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bandwidth == 0 {
+		c.Bandwidth = phy.Rate2Mbps
+	}
+	if c.TotalPackets == 0 {
+		c.TotalPackets = 110000
+	}
+	if c.BatchPackets == 0 {
+		c.BatchPackets = c.TotalPackets / 11
+	}
+	if c.WarmupBatches == 0 {
+		c.WarmupBatches = 1
+	}
+	if c.MaxSimTime == 0 {
+		c.MaxSimTime = 24 * time.Hour
+	}
+	if c.Transport.Alpha == 0 {
+		c.Transport.Alpha = 2
+	}
+	return c
+}
+
+// buildTopology materializes node positions and the default flows.
+func (c Config) buildTopology(rng *rand.Rand) ([]geo.Point, []FlowSpec, error) {
+	switch c.Topology.Kind {
+	case TopoChain:
+		if c.Topology.Hops < 1 {
+			return nil, nil, fmt.Errorf("core: chain topology needs Hops >= 1")
+		}
+		pts := geo.Chain(c.Topology.Hops)
+		return pts, []FlowSpec{{Src: 0, Dst: pkt.NodeID(c.Topology.Hops)}}, nil
+	case TopoGrid:
+		pts, gf := geo.Grid21()
+		flows := make([]FlowSpec, len(gf))
+		for i, f := range gf {
+			flows[i] = FlowSpec{Src: pkt.NodeID(f.Src), Dst: pkt.NodeID(f.Dst)}
+		}
+		return pts, flows, nil
+	case TopoRandom:
+		t := c.Topology
+		if t.RandomNodes == 0 {
+			t = Random()
+		}
+		pts, _ := geo.Random(geo.RandomConfig{
+			N: t.RandomNodes, Width: t.RandomWidth, Height: t.RandomHeight, Range: phy.TxRange,
+		}, rng)
+		gf := geo.PickFlows(t.RandomNodes, t.RandomFlows, rng)
+		flows := make([]FlowSpec, len(gf))
+		for i, f := range gf {
+			flows[i] = FlowSpec{Src: pkt.NodeID(f.Src), Dst: pkt.NodeID(f.Dst)}
+		}
+		return pts, flows, nil
+	default:
+		return nil, nil, fmt.Errorf("core: unknown topology kind %d", c.Topology.Kind)
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"time"
+
+	"manetsim/internal/pkt"
+	"manetsim/internal/stats"
+)
+
+// Batch holds the raw measurements of one batch (paper: 10000 delivered
+// packets per batch).
+type Batch struct {
+	Start, End time.Duration // simulated time span
+	// PerFlowPackets counts new in-order packets delivered per flow.
+	PerFlowPackets []int64
+	// PerFlowRtx counts transport-layer retransmissions per flow.
+	PerFlowRtx []uint64
+	// PerFlowWindow is the time-averaged congestion window per flow
+	// (zero for UDP).
+	PerFlowWindow []float64
+	// MACDrops counts failed transmission attempts (retries + retry-limit
+	// drops) and MACSubmitted all unicast attempts (RTS + DATA frames),
+	// aggregated over nodes: their ratio is the paper's Figure 14 metric.
+	MACDrops     uint64
+	MACSubmitted uint64
+	// FalseRouteFailures counts AODV teardowns caused by MAC give-ups.
+	FalseRouteFailures uint64
+}
+
+// Duration returns the batch time span.
+func (b Batch) Duration() time.Duration { return b.End - b.Start }
+
+// PerFlowGoodput returns per-flow goodput in bit/s (payload bytes only,
+// matching the paper's definition).
+func (b Batch) PerFlowGoodput() []float64 {
+	out := make([]float64, len(b.PerFlowPackets))
+	secs := b.Duration().Seconds()
+	if secs <= 0 {
+		return out
+	}
+	for i, p := range b.PerFlowPackets {
+		out[i] = float64(p) * pkt.TCPPayloadSize * 8 / secs
+	}
+	return out
+}
+
+// AggregateGoodput returns the summed goodput over flows in bit/s.
+func (b Batch) AggregateGoodput() float64 {
+	var sum float64
+	for _, g := range b.PerFlowGoodput() {
+		sum += g
+	}
+	return sum
+}
+
+// Jain returns Jain's fairness index over the batch's per-flow goodputs.
+func (b Batch) Jain() float64 { return stats.JainIndex(b.PerFlowGoodput()) }
+
+// RtxPerDelivered returns transport retransmissions per delivered packet,
+// averaged over flows (the paper's Figures 7 and 12 metric).
+func (b Batch) RtxPerDelivered() float64 {
+	if len(b.PerFlowPackets) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for i := range b.PerFlowPackets {
+		if b.PerFlowPackets[i] == 0 {
+			continue
+		}
+		sum += float64(b.PerFlowRtx[i]) / float64(b.PerFlowPackets[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanWindow averages the per-flow time-weighted windows.
+func (b Batch) MeanWindow() float64 {
+	if len(b.PerFlowWindow) == 0 {
+		return 0
+	}
+	return stats.Mean(b.PerFlowWindow)
+}
+
+// DropProbability returns the per-attempt link-layer failure probability
+// in the batch.
+func (b Batch) DropProbability() float64 {
+	if b.MACSubmitted == 0 {
+		return 0
+	}
+	return float64(b.MACDrops) / float64(b.MACSubmitted)
+}
+
+// EnergyReport summarizes radio energy use over the whole run.
+type EnergyReport struct {
+	TotalJoules      float64
+	JoulesPerMB      float64 // energy per delivered payload megabyte
+	DeliveredPackets int64
+}
+
+// DelaySummary reports end-to-end packet latency (send to in-order
+// delivery, including retransmission waits) pooled over flows.
+type DelaySummary struct {
+	Mean time.Duration
+	P50  time.Duration
+	P95  time.Duration
+	Max  time.Duration
+	N    int64
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Config Config
+	Flows  []FlowSpec
+
+	// Measured batches (warm-up already discarded).
+	Batches []Batch
+
+	// Batch-means estimates over the measured batches.
+	AggGoodput  stats.Estimate // bit/s
+	PerFlowGood []stats.Estimate
+	Rtx         stats.Estimate // retransmissions per delivered packet
+	AvgWindow   stats.Estimate // packets
+	DropProb    stats.Estimate // link-layer dropping probability
+	Jain        stats.Estimate // fairness index
+
+	FalseRouteFailures uint64 // total over measured batches
+	Energy             EnergyReport
+	Delay              DelaySummary
+
+	Delivered int64         // total packets delivered (incl. warm-up)
+	SimTime   time.Duration // simulated duration
+	Truncated bool          // MaxSimTime hit before TotalPackets
+}
+
+// aggregate computes the batch-means estimates from the measured batches.
+func (r *Result) aggregate() {
+	if len(r.Batches) == 0 {
+		return
+	}
+	nf := len(r.Flows)
+	agg := make([]float64, len(r.Batches))
+	rtx := make([]float64, len(r.Batches))
+	win := make([]float64, len(r.Batches))
+	drop := make([]float64, len(r.Batches))
+	jain := make([]float64, len(r.Batches))
+	perFlow := make([][]float64, nf)
+	for i := range perFlow {
+		perFlow[i] = make([]float64, len(r.Batches))
+	}
+	for bi, b := range r.Batches {
+		agg[bi] = b.AggregateGoodput()
+		rtx[bi] = b.RtxPerDelivered()
+		win[bi] = b.MeanWindow()
+		drop[bi] = b.DropProbability()
+		jain[bi] = b.Jain()
+		g := b.PerFlowGoodput()
+		for fi := 0; fi < nf; fi++ {
+			perFlow[fi][bi] = g[fi]
+		}
+		r.FalseRouteFailures += b.FalseRouteFailures
+	}
+	r.AggGoodput = stats.BatchMeans(agg)
+	r.Rtx = stats.BatchMeans(rtx)
+	r.AvgWindow = stats.BatchMeans(win)
+	r.DropProb = stats.BatchMeans(drop)
+	r.Jain = stats.BatchMeans(jain)
+	r.PerFlowGood = make([]stats.Estimate, nf)
+	for fi := 0; fi < nf; fi++ {
+		r.PerFlowGood[fi] = stats.BatchMeans(perFlow[fi])
+	}
+}

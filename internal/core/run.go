@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"manetsim/internal/aodv"
+	"manetsim/internal/geo"
+	"manetsim/internal/node"
+	"manetsim/internal/phy"
+	"manetsim/internal/pkt"
+	"manetsim/internal/sim"
+	"manetsim/internal/stats"
+	"manetsim/internal/tcp"
+	"manetsim/internal/udp"
+)
+
+// scenario holds the live state of one run.
+type scenario struct {
+	cfg   Config
+	sched *sim.Scheduler
+	uids  pkt.UIDSource
+
+	positions []geo.Point
+	flows     []FlowSpec
+	nodes     []*node.Node
+	routers   []*aodv.Router // nil entries under static routing
+	senders   []tcp.Sender   // per flow (nil for UDP)
+	udpSrcs   []*udp.Sender  // per flow (nil for TCP)
+	sinks     []*tcp.Sink    // per flow (nil for UDP)
+	udpSinks  []*udp.Sink
+
+	delivered      int64
+	nextBatchAt    int64
+	perFlowPackets []int64
+	delay          *stats.DurationHistogram
+
+	batches []Batch
+	cur     Batch // batch being accumulated
+
+	// Cumulative counters snapshotted at the previous batch boundary.
+	lastRtx      []uint64
+	lastDrops    uint64
+	lastSubmit   uint64
+	lastFailures uint64
+}
+
+// Run executes one configured simulation and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	s := &scenario{cfg: cfg, sched: sim.NewScheduler(cfg.Seed)}
+	if err := s.build(); err != nil {
+		return nil, err
+	}
+	s.start()
+	s.sched.RunUntil(cfg.MaxSimTime)
+
+	res := &Result{
+		Config:    cfg,
+		Flows:     s.flows,
+		Delivered: s.delivered,
+		SimTime:   s.sched.Now(),
+		Truncated: s.delivered < cfg.TotalPackets,
+	}
+	warm := cfg.WarmupBatches
+	if warm > len(s.batches) {
+		warm = len(s.batches)
+	}
+	res.Batches = s.batches[warm:]
+	res.aggregate()
+	s.fillEnergy(res)
+	if s.delay.N() > 0 {
+		res.Delay = DelaySummary{
+			Mean: s.delay.Mean(),
+			P50:  s.delay.Quantile(0.5),
+			P95:  s.delay.Quantile(0.95),
+			Max:  s.delay.Max(),
+			N:    s.delay.N(),
+		}
+	}
+	return res, nil
+}
+
+// build materializes topology, stacks and flows.
+func (s *scenario) build() error {
+	pts, flows, err := s.cfg.buildTopology(s.sched.Rand())
+	if err != nil {
+		return err
+	}
+	if s.cfg.Flows != nil {
+		flows = s.cfg.Flows
+	}
+	for _, f := range flows {
+		if int(f.Src) >= len(pts) || int(f.Dst) >= len(pts) || f.Src < 0 || f.Dst < 0 || f.Src == f.Dst {
+			return fmt.Errorf("core: invalid flow %d->%d for %d nodes", f.Src, f.Dst, len(pts))
+		}
+	}
+	s.positions = pts
+	s.flows = flows
+	s.perFlowPackets = make([]int64, len(flows))
+	s.lastRtx = make([]uint64, len(flows))
+
+	ch := phy.NewChannel(s.sched, pts)
+	ch.NoCapture = s.cfg.NoCapture
+	s.nodes = make([]*node.Node, len(pts))
+	s.routers = make([]*aodv.Router, len(pts))
+	for i := range pts {
+		n := node.New(s.sched, ch.Radio(pkt.NodeID(i)), s.cfg.Bandwidth)
+		n.OnFlowDelivery = s.onDelivery
+		s.nodes[i] = n
+	}
+	for i := range pts {
+		id := pkt.NodeID(i)
+		n := s.nodes[i]
+		switch s.cfg.Routing {
+		case RoutingAODV:
+			r := aodv.New(s.sched, id, n.MAC, &s.uids, aodv.Config{}, n.Deliver)
+			s.routers[i] = r
+			n.SetRouter(r)
+		case RoutingStatic:
+			n.SetRouter(aodv.NewStatic(id, n.MAC, pts, phy.TxRange, n.Deliver))
+		default:
+			return fmt.Errorf("core: unknown routing kind %d", s.cfg.Routing)
+		}
+	}
+
+	s.senders = make([]tcp.Sender, len(flows))
+	s.udpSrcs = make([]*udp.Sender, len(flows))
+	s.sinks = make([]*tcp.Sink, len(flows))
+	s.udpSinks = make([]*udp.Sink, len(flows))
+	s.delay = stats.NewDurationHistogram(4096, s.sched.Rand().Int63n)
+	if s.cfg.PerFlowTransport != nil && len(s.cfg.PerFlowTransport) != len(flows) {
+		return fmt.Errorf("core: PerFlowTransport has %d entries for %d flows",
+			len(s.cfg.PerFlowTransport), len(flows))
+	}
+	for fi, f := range flows {
+		tspec := s.cfg.Transport
+		if s.cfg.PerFlowTransport != nil {
+			tspec = s.cfg.PerFlowTransport[fi]
+		}
+		if err := s.buildFlow(fi, f, tspec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildFlow attaches one flow's transport endpoints.
+func (s *scenario) buildFlow(fi int, f FlowSpec, tspec TransportSpec) error {
+	src, dst := s.nodes[f.Src], s.nodes[f.Dst]
+	switch {
+	case tspec.Protocol.isTCP():
+		if tspec.AckThinning && tspec.DelayedAck {
+			return fmt.Errorf("core: flow %d: AckThinning and DelayedAck are mutually exclusive", fi)
+		}
+		tcfg := tcp.Config{
+			Alpha:     tspec.Alpha,
+			MaxWindow: tspec.MaxWindow,
+		}
+		var snd tcp.Sender
+		switch tspec.Protocol {
+		case ProtoVegas:
+			snd = tcp.NewVegas(s.sched, tcfg, fi, f.Src, f.Dst, &s.uids, src.Output())
+		case ProtoNewReno:
+			snd = tcp.NewNewReno(s.sched, tcfg, fi, f.Src, f.Dst, &s.uids, src.Output())
+		case ProtoReno:
+			snd = tcp.NewReno1990(s.sched, tcfg, fi, f.Src, f.Dst, &s.uids, src.Output())
+		case ProtoTahoe:
+			snd = tcp.NewTahoe(s.sched, tcfg, fi, f.Src, f.Dst, &s.uids, src.Output())
+		}
+		policy := tcp.AckEveryPacket
+		if tspec.AckThinning {
+			policy = tcp.AckThinning
+		} else if tspec.DelayedAck {
+			policy = tcp.AckDelayed
+		}
+		sink := tcp.NewSink(s.sched, fi, f.Dst, f.Src, policy, &s.uids, dst.Output())
+		sink.Delay = s.delay
+		src.AttachTCPSender(fi, snd)
+		dst.AttachTCPSink(fi, sink)
+		s.senders[fi] = snd
+		s.sinks[fi] = sink
+	case tspec.Protocol == ProtoPacedUDP:
+		if tspec.UDPGap <= 0 {
+			return fmt.Errorf("core: paced UDP needs UDPGap > 0")
+		}
+		usrc := udp.NewSender(s.sched, fi, f.Src, f.Dst, tspec.UDPGap, &s.uids, src.Output())
+		usink := udp.NewSink()
+		usink.Delay = s.delay
+		usink.Now = s.sched.Now
+		dst.AttachUDPSink(fi, usink)
+		s.udpSrcs[fi] = usrc
+		s.udpSinks[fi] = usink
+	default:
+		return fmt.Errorf("core: unknown protocol %d", tspec.Protocol)
+	}
+	return nil
+}
+
+// start launches all flows with a small decorrelating jitter and opens the
+// first batch.
+func (s *scenario) start() {
+	s.cur = s.newBatch(0)
+	s.nextBatchAt = s.cfg.BatchPackets
+	for fi := range s.flows {
+		fi := fi
+		jitter := sim.Time(s.sched.Rand().Int63n(int64(10 * time.Millisecond)))
+		s.sched.At(jitter, func() {
+			if snd := s.senders[fi]; snd != nil {
+				snd.Start()
+			}
+			if u := s.udpSrcs[fi]; u != nil {
+				u.Start()
+			}
+		})
+	}
+}
+
+func (s *scenario) newBatch(start time.Duration) Batch {
+	return Batch{
+		Start:          start,
+		PerFlowPackets: make([]int64, len(s.flows)),
+		PerFlowRtx:     make([]uint64, len(s.flows)),
+		PerFlowWindow:  make([]float64, len(s.flows)),
+	}
+}
+
+// onDelivery advances goodput accounting and closes batches at the paper's
+// packet-count boundaries.
+func (s *scenario) onDelivery(flow int, n int64) {
+	s.delivered += n
+	s.perFlowPackets[flow] += n
+	s.cur.PerFlowPackets[flow] += n
+
+	if s.delivered >= s.nextBatchAt || s.delivered >= s.cfg.TotalPackets {
+		s.closeBatch()
+		s.nextBatchAt += s.cfg.BatchPackets
+		if s.delivered >= s.cfg.TotalPackets {
+			s.sched.Stop()
+		}
+	}
+}
+
+// closeBatch snapshots cumulative counters into the finished batch and
+// opens the next one.
+func (s *scenario) closeBatch() {
+	now := s.sched.Now()
+	b := s.cur
+	b.End = now
+
+	for fi := range s.flows {
+		if snd := s.senders[fi]; snd != nil {
+			cum := snd.Stats().Retransmits
+			b.PerFlowRtx[fi] = cum - s.lastRtx[fi]
+			s.lastRtx[fi] = cum
+			b.PerFlowWindow[fi] = snd.WindowTrace().AverageAt(now)
+			snd.WindowTrace().Reset(now)
+		}
+	}
+	var failures, attempts uint64
+	for _, n := range s.nodes {
+		c := n.MAC.Counters
+		failures += c.Retries + c.RetryDrops
+		attempts += c.RTSSent + c.DataSent
+	}
+	b.MACDrops = failures - s.lastDrops
+	b.MACSubmitted = attempts - s.lastSubmit
+	s.lastDrops, s.lastSubmit = failures, attempts
+
+	var frf uint64
+	for _, r := range s.routers {
+		if r != nil {
+			frf += r.Counters.FalseRouteFailures
+		}
+	}
+	b.FalseRouteFailures = frf - s.lastFailures
+	s.lastFailures = frf
+
+	s.batches = append(s.batches, b)
+	s.cur = s.newBatch(now)
+}
+
+// fillEnergy computes the end-of-run energy report.
+func (s *scenario) fillEnergy(res *Result) {
+	var total float64
+	for _, n := range s.nodes {
+		total += n.EnergyJoules(node.DefaultPower, res.SimTime)
+	}
+	mb := float64(res.Delivered) * pkt.TCPPayloadSize / 1e6
+	rep := EnergyReport{TotalJoules: total, DeliveredPackets: res.Delivered}
+	if mb > 0 {
+		rep.JoulesPerMB = total / mb
+	}
+	res.Energy = rep
+}

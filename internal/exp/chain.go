@@ -1,0 +1,243 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"manetsim/internal/core"
+	"manetsim/internal/mac"
+	"manetsim/internal/phy"
+)
+
+// chainHops is the paper's x-axis for the chain experiments.
+var chainHops = []int{2, 4, 8, 16, 32, 64}
+
+// rates is the paper's bandwidth axis.
+var rates = []phy.Rate{phy.Rate2Mbps, phy.Rate5_5Mbps, phy.Rate11Mbps}
+
+func rateLabel(r phy.Rate) string { return fmt.Sprintf("%g", float64(r)/1e6) }
+
+func chainCfg(hops int, rate phy.Rate, t core.TransportSpec) core.Config {
+	return core.Config{Topology: core.Chain(hops), Bandwidth: rate, Transport: t}
+}
+
+// kbit converts bit/s to kbit/s.
+func kbit(bps float64) float64 { return bps / 1e3 }
+
+// Table2 reproduces the paper's Table 2 analytically: the 4-hop
+// propagation delay per bandwidth.
+func Table2(_ *Harness) (*Figure, error) {
+	f := &Figure{
+		ID:     "table2",
+		Title:  "4-hop propagation delay for different bandwidths",
+		XLabel: "bandwidth [Mbit/s]",
+		YLabel: "delay [ms]",
+	}
+	s := Series{Name: "4-hop delay"}
+	for _, r := range rates {
+		d := mac.FourHopPropagationDelay(r)
+		s.Points = append(s.Points, Point{X: rateLabel(r), Y: float64(d.Round(time.Millisecond).Milliseconds())})
+	}
+	f.Series = []Series{s}
+	return f, nil
+}
+
+// vegasAlphaSweep runs Vegas with α ∈ {2,3,4} over the chain lengths.
+func vegasAlphaSweep(h *Harness, metric func(*core.Result) float64, id, title, ylabel string) (*Figure, error) {
+	f := &Figure{ID: id, Title: title, XLabel: "hops", YLabel: ylabel}
+	for _, alpha := range []int{2, 3, 4} {
+		var cfgs []core.Config
+		for _, hops := range chainHops {
+			cfgs = append(cfgs, chainCfg(hops, phy.Rate2Mbps, core.TransportSpec{
+				Protocol: core.ProtoVegas, Alpha: alpha,
+			}))
+		}
+		results, err := h.RunAll(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: fmt.Sprintf("Vegas α=%d", alpha)}
+		for i, res := range results {
+			s.Points = append(s.Points, Point{X: fmt.Sprint(chainHops[i]), Y: metric(res)})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// Fig2: h-hop chain, 2 Mbit/s — Vegas goodput vs hops for α = 2, 3, 4.
+func Fig2(h *Harness) (*Figure, error) {
+	return vegasAlphaSweep(h, func(r *core.Result) float64 { return kbit(r.AggGoodput.Mean) },
+		"fig2", "h-hop chain, 2 Mbit/s: Vegas goodput vs hops", "goodput [kbit/s]")
+}
+
+// Fig3: h-hop chain, 2 Mbit/s — Vegas average window vs hops.
+func Fig3(h *Harness) (*Figure, error) {
+	return vegasAlphaSweep(h, func(r *core.Result) float64 { return r.AvgWindow.Mean },
+		"fig3", "h-hop chain, 2 Mbit/s: Vegas average window size vs hops", "window [packets]")
+}
+
+// Fig4: 7-hop chain — Vegas goodput per bandwidth for α = 2, 3, 4.
+func Fig4(h *Harness) (*Figure, error) {
+	f := &Figure{
+		ID: "fig4", Title: "7-hop chain: Vegas goodput for different bandwidths",
+		XLabel: "bandwidth [Mbit/s]", YLabel: "goodput [kbit/s]",
+	}
+	for _, alpha := range []int{2, 3, 4} {
+		var cfgs []core.Config
+		for _, r := range rates {
+			cfgs = append(cfgs, chainCfg(7, r, core.TransportSpec{Protocol: core.ProtoVegas, Alpha: alpha}))
+		}
+		results, err := h.RunAll(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: fmt.Sprintf("Vegas α=%d", alpha)}
+		for i, res := range results {
+			s.Points = append(s.Points, Point{X: rateLabel(rates[i]), Y: kbit(res.AggGoodput.Mean)})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// Fig5: h-hop chain, 2 Mbit/s — Vegas α=2 vs Vegas with ACK thinning for
+// α = 2, 3, 4.
+func Fig5(h *Harness) (*Figure, error) {
+	f := &Figure{
+		ID: "fig5", Title: "h-hop chain, 2 Mbit/s: Vegas with ACK thinning, goodput vs hops",
+		XLabel: "hops", YLabel: "goodput [kbit/s]",
+	}
+	variants := []struct {
+		name string
+		t    core.TransportSpec
+	}{
+		{"Vegas α=2", core.TransportSpec{Protocol: core.ProtoVegas, Alpha: 2}},
+		{"Vegas α=2 Thin", core.TransportSpec{Protocol: core.ProtoVegas, Alpha: 2, AckThinning: true}},
+		{"Vegas α=3 Thin", core.TransportSpec{Protocol: core.ProtoVegas, Alpha: 3, AckThinning: true}},
+		{"Vegas α=4 Thin", core.TransportSpec{Protocol: core.ProtoVegas, Alpha: 4, AckThinning: true}},
+	}
+	for _, v := range variants {
+		var cfgs []core.Config
+		for _, hops := range chainHops {
+			cfgs = append(cfgs, chainCfg(hops, phy.Rate2Mbps, v.t))
+		}
+		results, err := h.RunAll(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: v.name}
+		for i, res := range results {
+			s.Points = append(s.Points, Point{X: fmt.Sprint(chainHops[i]), Y: kbit(res.AggGoodput.Mean)})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// chainVariants are the protocols of Figures 6-9.
+var chainVariants = []struct {
+	name string
+	t    core.TransportSpec
+}{
+	{"Vegas", core.TransportSpec{Protocol: core.ProtoVegas, Alpha: 2}},
+	{"NewReno", core.TransportSpec{Protocol: core.ProtoNewReno}},
+	{"NewReno Thin", core.TransportSpec{Protocol: core.ProtoNewReno, AckThinning: true}},
+}
+
+// chainComparison builds a Figures-6..9 style figure over the chain with
+// the TCP variants and optionally the optimally paced UDP.
+func chainComparison(h *Harness, id, title, ylabel string, includeUDP bool, metric func(*core.Result) float64) (*Figure, error) {
+	f := &Figure{ID: id, Title: title, XLabel: "hops", YLabel: ylabel}
+	for _, v := range chainVariants {
+		var cfgs []core.Config
+		for _, hops := range chainHops {
+			cfgs = append(cfgs, chainCfg(hops, phy.Rate2Mbps, v.t))
+		}
+		results, err := h.RunAll(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: v.name}
+		for i, res := range results {
+			s.Points = append(s.Points, Point{X: fmt.Sprint(chainHops[i]), Y: metric(res)})
+		}
+		f.Series = append(f.Series, s)
+	}
+	if includeUDP {
+		s := Series{Name: "Paced UDP"}
+		for _, hops := range chainHops {
+			gap, err := h.OptimalUDPGap(hops, phy.Rate2Mbps)
+			if err != nil {
+				return nil, err
+			}
+			res, err := h.Run(chainCfg(hops, phy.Rate2Mbps, core.TransportSpec{
+				Protocol: core.ProtoPacedUDP, UDPGap: gap,
+			}))
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: fmt.Sprint(hops), Y: metric(res)})
+			f.Notes = append(f.Notes, fmt.Sprintf("paced UDP at %d hops: optimal gap %v", hops, gap))
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// Fig6: goodput vs hops for Vegas, NewReno, NewReno+thinning and paced UDP.
+func Fig6(h *Harness) (*Figure, error) {
+	return chainComparison(h, "fig6", "h-hop chain, 2 Mbit/s: goodput vs hops",
+		"goodput [kbit/s]", true, func(r *core.Result) float64 { return kbit(r.AggGoodput.Mean) })
+}
+
+// Fig7: transport retransmissions per delivered packet vs hops.
+func Fig7(h *Harness) (*Figure, error) {
+	return chainComparison(h, "fig7", "h-hop chain, 2 Mbit/s: retransmissions vs hops",
+		"retransmissions per delivered packet", false, func(r *core.Result) float64 { return r.Rtx.Mean })
+}
+
+// Fig8: average window size vs hops.
+func Fig8(h *Harness) (*Figure, error) {
+	return chainComparison(h, "fig8", "h-hop chain, 2 Mbit/s: window size vs hops",
+		"window [packets]", false, func(r *core.Result) float64 { return r.AvgWindow.Mean })
+}
+
+// Fig9: false route failures vs hops (including paced UDP).
+func Fig9(h *Harness) (*Figure, error) {
+	return chainComparison(h, "fig9", "h-hop chain, 2 Mbit/s: false route failures vs hops",
+		"false route failures (measured portion)", true, func(r *core.Result) float64 { return float64(r.FalseRouteFailures) })
+}
+
+// Fig10: 7-hop chain, 2 Mbit/s — paced UDP goodput vs inter-packet time.
+func Fig10(h *Harness) (*Figure, error) {
+	f := &Figure{
+		ID: "fig10", Title: "7-hop chain, 2 Mbit/s: paced UDP goodput vs packet inter-sending time",
+		XLabel: "gap [ms]", YLabel: "goodput [kbit/s]",
+	}
+	s := Series{Name: "Paced UDP"}
+	var cfgs []core.Config
+	var gaps []time.Duration
+	for ms := 28; ms <= 44; ms += 2 {
+		gap := time.Duration(ms) * time.Millisecond
+		gaps = append(gaps, gap)
+		cfgs = append(cfgs, chainCfg(7, phy.Rate2Mbps, core.TransportSpec{
+			Protocol: core.ProtoPacedUDP, UDPGap: gap,
+		}))
+	}
+	results, err := h.RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	bestGap, bestG := time.Duration(0), -1.0
+	for i, res := range results {
+		g := kbit(res.AggGoodput.Mean)
+		s.Points = append(s.Points, Point{X: fmt.Sprint(gaps[i].Milliseconds()), Y: g})
+		if g > bestG {
+			bestG, bestGap = g, gaps[i]
+		}
+	}
+	f.Series = []Series{s}
+	f.Notes = append(f.Notes, fmt.Sprintf("measured t_opt = %v (paper: 35.7 ms)", bestGap))
+	return f, nil
+}

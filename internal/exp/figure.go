@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Point is one (x, y) sample of a series, optionally with a confidence
+// interval half-width.
+type Point struct {
+	X  string
+	Y  float64
+	CI float64
+}
+
+// Series is one labelled curve/bar group.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a regenerated table or figure: a set of series over a common
+// x-axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carries derived observations (e.g. the optimal UDP gaps used).
+	Notes []string
+}
+
+// xValues returns the union of x labels in first-appearance order.
+func (f *Figure) xValues() []string {
+	var xs []string
+	seen := map[string]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	return xs
+}
+
+func (f *Figure) lookup(s Series, x string) (Point, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Render writes an aligned text table: one row per x value, one column per
+// series.
+func (f *Figure) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, x := range f.xValues() {
+		row := []string{x}
+		for _, s := range f.Series {
+			p, ok := f.lookup(s, x)
+			switch {
+			case !ok:
+				row = append(row, "-")
+			case p.CI > 0:
+				row = append(row, fmt.Sprintf("%.3g ±%.2g", p.Y, p.CI))
+			default:
+				row = append(row, fmt.Sprintf("%.4g", p.Y))
+			}
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(y: %s)\n", f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// CSV writes the figure in long form: series,x,y,ci.
+func (f *Figure) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "series,x,y,ci"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%q,%q,%g,%g\n", s.Name, p.X, p.Y, p.CI); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,484 @@
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"manetsim/internal/phy"
+	"manetsim/internal/pkt"
+	"manetsim/internal/sim"
+)
+
+// phase tracks where the MAC is in the DCF exchange for the packet in
+// service.
+type phase int
+
+const (
+	phaseIdle     phase = iota // nothing in service
+	phaseContend               // contending (IFS + backoff) for cur
+	phaseTxRTS                 // RTS on the air
+	phaseWaitCTS               // CTS response timer running
+	phaseSIFSData              // SIFS gap before sending DATA
+	phaseTxData                // DATA on the air
+	phaseWaitAck               // ACK response timer running
+	phaseTxBcast               // broadcast data on the air
+)
+
+// Config parameterizes a DCF instance.
+type Config struct {
+	DataRate phy.Rate
+	QueueCap int // 0 means DefaultQueueCap
+}
+
+// Callbacks connect the MAC to the layer above.
+type Callbacks struct {
+	// Deliver hands a received network packet up (from = previous hop).
+	Deliver func(p *pkt.Packet, from pkt.NodeID)
+	// LinkFailure reports a unicast packet dropped after retry
+	// exhaustion; the routing layer reacts with a (false) route failure.
+	LinkFailure func(p *pkt.Packet, nextHop pkt.NodeID)
+}
+
+// txItem is one queued network packet with its link-layer next hop.
+type txItem struct {
+	p       *pkt.Packet
+	nextHop pkt.NodeID
+}
+
+// DCF is the per-node 802.11 MAC entity.
+type DCF struct {
+	sched  *sim.Scheduler
+	radio  *phy.Radio
+	timing Timing
+	cb     Callbacks
+	qcap   int
+
+	queue []txItem
+	cur   *txItem
+
+	ph           phase
+	cw           int
+	backoffSlots int
+	counting     bool
+	countStart   sim.Time
+	curIFS       time.Duration
+	useEIFS      bool
+
+	deferTimer *sim.Timer
+	ctsTimer   *sim.Timer
+	ackTimer   *sim.Timer
+	navTimer   *sim.Timer
+	navUntil   sim.Time
+
+	ssrc, slrc int
+
+	respInFlight bool
+	respPending  bool
+
+	// receiver-side duplicate suppression (ACK lost => MAC retransmits)
+	seen     map[uint64]bool
+	seenRing []uint64
+	seenIdx  int
+
+	Counters Counters
+}
+
+var _ phy.Handler = (*DCF)(nil)
+
+// New creates a DCF bound to a radio and installs itself as the radio's
+// PHY handler.
+func New(sched *sim.Scheduler, radio *phy.Radio, cfg Config, cb Callbacks) *DCF {
+	if cb.Deliver == nil || cb.LinkFailure == nil {
+		panic("mac: both callbacks are required")
+	}
+	qcap := cfg.QueueCap
+	if qcap == 0 {
+		qcap = DefaultQueueCap
+	}
+	d := &DCF{
+		sched:    sched,
+		radio:    radio,
+		timing:   NewTiming(cfg.DataRate),
+		cb:       cb,
+		qcap:     qcap,
+		cw:       CWMin,
+		seen:     make(map[uint64]bool),
+		seenRing: make([]uint64, 128),
+	}
+	d.deferTimer = sim.NewTimer(sched, d.onDeferDone)
+	d.ctsTimer = sim.NewTimer(sched, d.onCTSTimeout)
+	d.ackTimer = sim.NewTimer(sched, d.onAckTimeout)
+	d.navTimer = sim.NewTimer(sched, d.kick)
+	radio.SetHandler(d)
+	return d
+}
+
+// ID returns the node id of this MAC's radio.
+func (d *DCF) ID() pkt.NodeID { return d.radio.ID() }
+
+// QueueLen returns the number of packets waiting (excluding the one in
+// service).
+func (d *DCF) QueueLen() int { return len(d.queue) }
+
+// Enqueue submits a network packet for transmission to nextHop (or
+// pkt.Broadcast). It reports false when the interface queue is full and
+// the packet was dropped.
+func (d *DCF) Enqueue(p *pkt.Packet, nextHop pkt.NodeID) bool {
+	if nextHop == pkt.Broadcast {
+		d.Counters.BcastSubmitted++
+	} else {
+		d.Counters.DataSubmitted++
+	}
+	if len(d.queue) >= d.qcap {
+		d.Counters.QueueDrops++
+		return false
+	}
+	d.queue = append(d.queue, txItem{p: p, nextHop: nextHop})
+	d.kick()
+	return true
+}
+
+// FilterQueue removes queued packets for which keep returns false and
+// returns them (head-of-line packet in service is not affected). Routing
+// uses this to pull packets for an invalidated next hop out of the queue.
+func (d *DCF) FilterQueue(keep func(p *pkt.Packet, nextHop pkt.NodeID) bool) []*pkt.Packet {
+	var removed []*pkt.Packet
+	kept := d.queue[:0]
+	for _, item := range d.queue {
+		if keep(item.p, item.nextHop) {
+			kept = append(kept, item)
+		} else {
+			removed = append(removed, item.p)
+		}
+	}
+	for i := len(kept); i < len(d.queue); i++ {
+		d.queue[i] = txItem{}
+	}
+	d.queue = kept
+	return removed
+}
+
+// mediumBusy reports physical or virtual (NAV) carrier.
+func (d *DCF) mediumBusy() bool {
+	return !d.radio.Idle() || d.sched.Now() < d.navUntil
+}
+
+// kick advances the contention state machine. It is safe to call at any
+// time; it does nothing unless a countdown can start or resume.
+func (d *DCF) kick() {
+	if d.respInFlight || d.radio.Transmitting() {
+		return
+	}
+	if d.ph != phaseIdle && d.ph != phaseContend {
+		return
+	}
+	if d.cur == nil {
+		if len(d.queue) == 0 {
+			return
+		}
+		item := d.queue[0]
+		copy(d.queue, d.queue[1:])
+		d.queue[len(d.queue)-1] = txItem{}
+		d.queue = d.queue[:len(d.queue)-1]
+		d.cur = &item
+		d.ph = phaseContend
+		d.ssrc, d.slrc = 0, 0
+		d.backoffSlots = d.drawBackoff()
+	}
+	if d.counting {
+		return
+	}
+	if d.mediumBusy() {
+		if now := d.sched.Now(); now < d.navUntil && d.radio.Idle() && !d.navTimer.Pending() {
+			d.navTimer.ResetAt(d.navUntil)
+		}
+		return
+	}
+	d.curIFS = DIFS
+	if d.useEIFS {
+		d.curIFS = d.timing.EIFS
+	}
+	d.counting = true
+	d.countStart = d.sched.Now()
+	d.deferTimer.Reset(d.curIFS + time.Duration(d.backoffSlots)*SlotTime)
+}
+
+// pause suspends a running backoff countdown, banking fully elapsed slots.
+func (d *DCF) pause() {
+	if !d.counting {
+		return
+	}
+	d.counting = false
+	d.deferTimer.Stop()
+	elapsed := d.sched.Now() - d.countStart
+	if elapsed > d.curIFS {
+		consumed := int((elapsed - d.curIFS) / SlotTime)
+		d.backoffSlots -= consumed
+		if d.backoffSlots < 0 {
+			d.backoffSlots = 0
+		}
+	}
+}
+
+// drawBackoff samples a uniform backoff in [0, cw] slots.
+func (d *DCF) drawBackoff() int {
+	return d.sched.Rand().Intn(d.cw + 1)
+}
+
+// growCW doubles the contention window after a failed attempt.
+func (d *DCF) growCW() {
+	d.cw = 2*(d.cw+1) - 1
+	if d.cw > CWMax {
+		d.cw = CWMax
+	}
+}
+
+// onDeferDone fires when IFS+backoff completed with an idle medium: the
+// frame in service goes on the air.
+func (d *DCF) onDeferDone() {
+	d.counting = false
+	d.useEIFS = false
+	d.backoffSlots = 0
+	if d.cur == nil {
+		d.ph = phaseIdle
+		return
+	}
+	if d.cur.nextHop == pkt.Broadcast {
+		d.ph = phaseTxBcast
+		d.Counters.BcastSent++
+		f := &Frame{Type: FrameData, From: d.ID(), To: pkt.Broadcast, Payload: d.cur.p}
+		d.radio.Transmit(f, d.timing.DataAir(d.cur.p.Size))
+		return
+	}
+	d.ph = phaseTxRTS
+	d.Counters.RTSSent++
+	dataAir := d.timing.DataAir(d.cur.p.Size)
+	dur := 3*SIFS + d.timing.CTSAir + dataAir + d.timing.AckAir
+	f := &Frame{Type: FrameRTS, From: d.ID(), To: d.cur.nextHop, Duration: dur}
+	d.radio.Transmit(f, d.timing.RTSAir)
+}
+
+// TxDone implements phy.Handler.
+func (d *DCF) TxDone() {
+	if d.respInFlight {
+		d.respInFlight = false
+		d.kick()
+		return
+	}
+	switch d.ph {
+	case phaseTxRTS:
+		d.ph = phaseWaitCTS
+		d.ctsTimer.Reset(SIFS + d.timing.CTSAir + 2*maxPropDelay + SlotTime)
+	case phaseTxData:
+		d.ph = phaseWaitAck
+		d.ackTimer.Reset(SIFS + d.timing.AckAir + 2*maxPropDelay + SlotTime)
+	case phaseTxBcast:
+		d.finishCur()
+	default:
+		// Response frames handled above; nothing else transmits.
+	}
+}
+
+// finishCur completes service of the current packet (success or broadcast)
+// and moves on.
+func (d *DCF) finishCur() {
+	d.cur = nil
+	d.ph = phaseIdle
+	d.cw = CWMin
+	d.ssrc, d.slrc = 0, 0
+	d.kick()
+}
+
+// dropCur gives up on the current packet after retry exhaustion.
+func (d *DCF) dropCur() {
+	item := d.cur
+	d.cur = nil
+	d.ph = phaseIdle
+	d.cw = CWMin
+	d.ssrc, d.slrc = 0, 0
+	d.Counters.RetryDrops++
+	d.cb.LinkFailure(item.p, item.nextHop)
+	d.kick()
+}
+
+func (d *DCF) onCTSTimeout() {
+	if d.ph != phaseWaitCTS {
+		return
+	}
+	d.ssrc++
+	d.Counters.Retries++
+	if d.ssrc >= ShortRetryLimit {
+		d.dropCur()
+		return
+	}
+	d.growCW()
+	d.backoffSlots = d.drawBackoff()
+	d.ph = phaseContend
+	d.kick()
+}
+
+func (d *DCF) onAckTimeout() {
+	if d.ph != phaseWaitAck {
+		return
+	}
+	d.dataAttemptFailed()
+}
+
+// dataAttemptFailed handles a failed DATA attempt (missing ACK or a
+// blocked transmission slot): count against the long retry limit and
+// re-contend from the RTS stage.
+func (d *DCF) dataAttemptFailed() {
+	d.slrc++
+	d.Counters.Retries++
+	if d.slrc >= LongRetryLimit {
+		d.dropCur()
+		return
+	}
+	d.growCW()
+	d.backoffSlots = d.drawBackoff()
+	d.ph = phaseContend
+	d.kick()
+}
+
+// ChannelBusy implements phy.Handler: energy appeared, pause contention.
+func (d *DCF) ChannelBusy() { d.pause() }
+
+// ChannelIdle implements phy.Handler: medium free again, resume.
+func (d *DCF) ChannelIdle() { d.kick() }
+
+// RxCorrupted implements phy.Handler: next deferral uses EIFS.
+func (d *DCF) RxCorrupted() { d.useEIFS = true }
+
+// RxFrame implements phy.Handler and dispatches by frame type.
+func (d *DCF) RxFrame(frame any, from pkt.NodeID) {
+	f, ok := frame.(*Frame)
+	if !ok {
+		panic(fmt.Sprintf("mac: foreign frame type %T", frame))
+	}
+	d.useEIFS = false
+	me := d.ID()
+	if f.To != me && f.To != pkt.Broadcast {
+		// Overheard frame: virtual carrier sense.
+		d.updateNAV(f.Duration)
+		return
+	}
+	switch f.Type {
+	case FrameRTS:
+		d.onRTS(f, from)
+	case FrameCTS:
+		d.onCTS(f, from)
+	case FrameData:
+		d.onData(f, from)
+	case FrameAck:
+		d.onAck(f, from)
+	}
+}
+
+func (d *DCF) updateNAV(dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	until := d.sched.Now() + dur
+	if until > d.navUntil {
+		d.navUntil = until
+		d.pause()
+	}
+}
+
+// onRTS answers with a CTS after SIFS unless virtual carrier sense forbids
+// it (a neighbor's reservation is active).
+func (d *DCF) onRTS(f *Frame, from pkt.NodeID) {
+	if d.sched.Now() < d.navUntil || d.respPending {
+		return
+	}
+	cts := &Frame{
+		Type:     FrameCTS,
+		From:     d.ID(),
+		To:       from,
+		Duration: f.Duration - SIFS - d.timing.CTSAir,
+	}
+	d.scheduleResponse(cts, d.timing.CTSAir, &d.Counters.CTSSent)
+}
+
+// onCTS resumes the exchange for the packet in service.
+func (d *DCF) onCTS(f *Frame, from pkt.NodeID) {
+	if d.ph != phaseWaitCTS || d.cur == nil || from != d.cur.nextHop {
+		return
+	}
+	d.ctsTimer.Stop()
+	d.ssrc = 0
+	d.ph = phaseSIFSData
+	d.sched.After(SIFS, d.sendData)
+}
+
+func (d *DCF) sendData() {
+	if d.ph != phaseSIFSData || d.cur == nil {
+		return
+	}
+	if d.radio.Transmitting() {
+		// A scheduled response got in first; treat like a failed attempt.
+		d.dataAttemptFailed()
+		return
+	}
+	d.ph = phaseTxData
+	d.Counters.DataSent++
+	f := &Frame{
+		Type:     FrameData,
+		From:     d.ID(),
+		To:       d.cur.nextHop,
+		Duration: SIFS + d.timing.AckAir,
+		Payload:  d.cur.p,
+	}
+	d.radio.Transmit(f, d.timing.DataAir(d.cur.p.Size))
+}
+
+// onData delivers the payload and always ACKs after SIFS (data receivers
+// respond regardless of NAV).
+func (d *DCF) onData(f *Frame, from pkt.NodeID) {
+	if f.To == pkt.Broadcast {
+		d.cb.Deliver(f.Payload, from)
+		return
+	}
+	ack := &Frame{Type: FrameAck, From: d.ID(), To: from}
+	d.scheduleResponse(ack, d.timing.AckAir, &d.Counters.AckSent)
+	uid := f.Payload.UID
+	if d.seen[uid] {
+		d.Counters.DupsSuppressed++
+		return
+	}
+	d.seen[uid] = true
+	if old := d.seenRing[d.seenIdx]; old != 0 {
+		delete(d.seen, old)
+	}
+	d.seenRing[d.seenIdx] = uid
+	d.seenIdx = (d.seenIdx + 1) % len(d.seenRing)
+	d.Counters.Delivered++
+	d.cb.Deliver(f.Payload, from)
+}
+
+// onAck completes the exchange for the packet in service.
+func (d *DCF) onAck(_ *Frame, from pkt.NodeID) {
+	if d.ph != phaseWaitAck || d.cur == nil || from != d.cur.nextHop {
+		return
+	}
+	d.ackTimer.Stop()
+	d.finishCur()
+}
+
+// scheduleResponse emits a control response (CTS or ACK) exactly SIFS
+// after the eliciting frame, without carrier sensing, as the standard
+// requires. If the radio happens to be mid-transmission at fire time the
+// response is skipped.
+func (d *DCF) scheduleResponse(f *Frame, airtime time.Duration, counter *uint64) {
+	d.respPending = true
+	d.sched.After(SIFS, func() {
+		d.respPending = false
+		if d.radio.Transmitting() || d.respInFlight {
+			return
+		}
+		d.pause()
+		d.respInFlight = true
+		*counter++
+		d.radio.Transmit(f, airtime)
+	})
+}

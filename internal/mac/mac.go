@@ -1,0 +1,161 @@
+// Package mac implements the IEEE 802.11 distributed coordination function
+// (DCF) as configured in the paper: RTS/CTS handshake ahead of every
+// unicast data frame, SIFS/DIFS/EIFS interframe spaces, binary exponential
+// backoff with CW in [31, 1023], NAV-based virtual carrier sensing, a short
+// retry limit of 7 (RTS) and long retry limit of 4 (DATA), and a 50-packet
+// drop-tail interface queue.
+//
+// Losing a frame after exhausting retries is reported to the routing layer
+// through the LinkFailure callback; in a static network this is what
+// triggers the paper's "false route failures" (Figure 9).
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"manetsim/internal/phy"
+	"manetsim/internal/pkt"
+)
+
+// FrameType enumerates 802.11 frame types used by the DCF exchange.
+type FrameType int
+
+// Frame types.
+const (
+	FrameRTS FrameType = iota + 1
+	FrameCTS
+	FrameData
+	FrameAck
+)
+
+var frameNames = map[FrameType]string{
+	FrameRTS: "RTS", FrameCTS: "CTS", FrameData: "DATA", FrameAck: "ACK",
+}
+
+func (t FrameType) String() string {
+	if s, ok := frameNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("frame(%d)", int(t))
+}
+
+// Frame is one 802.11 MAC frame on the air.
+type Frame struct {
+	Type     FrameType
+	From, To pkt.NodeID
+	// Duration is the NAV reservation: how long the medium remains
+	// reserved after this frame ends.
+	Duration time.Duration
+	// Payload is present on data frames only.
+	Payload *pkt.Packet
+}
+
+// Frame sizes in bytes (IEEE 802.11: RTS 20, CTS/ACK 14, data MAC
+// header + FCS 28).
+const (
+	RTSSize      = 20
+	CTSSize      = 14
+	AckSize      = 14
+	DataOverhead = 28
+)
+
+// DCF interframe spaces and contention parameters (802.11b DSSS PHY).
+const (
+	SlotTime = 20 * time.Microsecond
+	SIFS     = 10 * time.Microsecond
+	DIFS     = SIFS + 2*SlotTime // 50 us
+
+	CWMin = 31
+	CWMax = 1023
+
+	// ShortRetryLimit bounds RTS attempts, LongRetryLimit data attempts;
+	// exceeding either drops the packet and notifies the routing layer
+	// (the paper's 7 and 4).
+	ShortRetryLimit = 7
+	LongRetryLimit  = 4
+
+	// DefaultQueueCap is the interface queue capacity (paper: "buffer
+	// size of 50 packets").
+	DefaultQueueCap = 50
+)
+
+// maxPropDelay bounds the propagation delay within interference range and
+// pads the control-response timeouts.
+var maxPropDelay = phy.PropagationDelay(phy.CSRange)
+
+// Timing precomputes frame airtimes for one network configuration (a data
+// rate plus the preamble mode it implies). Control frames always go at
+// phy.ControlRate.
+type Timing struct {
+	DataRate phy.Rate
+	Preamble time.Duration
+	RTSAir   time.Duration
+	CTSAir   time.Duration
+	AckAir   time.Duration
+	EIFS     time.Duration
+}
+
+// NewTiming derives the timing set for a data rate.
+func NewTiming(dataRate phy.Rate) Timing {
+	p := phy.Preamble(dataRate)
+	ack := phy.Airtime(AckSize, phy.ControlRate, p)
+	return Timing{
+		DataRate: dataRate,
+		Preamble: p,
+		RTSAir:   phy.Airtime(RTSSize, phy.ControlRate, p),
+		CTSAir:   phy.Airtime(CTSSize, phy.ControlRate, p),
+		AckAir:   ack,
+		EIFS:     SIFS + DIFS + ack,
+	}
+}
+
+// DataAir returns the airtime of a data frame carrying a network-layer
+// packet of the given size.
+func (t Timing) DataAir(netBytes int) time.Duration {
+	return phy.Airtime(netBytes+DataOverhead, t.DataRate, t.Preamble)
+}
+
+// ExchangeTime returns the duration of one complete uncontended
+// DIFS + RTS/CTS/DATA/ACK exchange for a packet of the given network-layer
+// size — the per-hop cost used by the paper's Table 2 derivation.
+func (t Timing) ExchangeTime(netBytes int) time.Duration {
+	return DIFS + t.RTSAir + SIFS + t.CTSAir + SIFS + t.DataAir(netBytes) + SIFS + t.AckAir
+}
+
+// FourHopPropagationDelay computes Table 2 of the paper: the minimal link
+// layer delay for a TCP data packet (1460 B payload) to advance four hops
+// along a chain with zero queueing.
+func FourHopPropagationDelay(dataRate phy.Rate) time.Duration {
+	return 4 * NewTiming(dataRate).ExchangeTime(pkt.TCPDataSize)
+}
+
+// Counters aggregates per-node MAC statistics. Figure 14's link-layer
+// dropping probability is the per-attempt failure rate
+// (Retries+RetryDrops)/(RTSSent+DataSent): the paper's values (a few
+// percent) describe how often individual transmissions fail, which the
+// retry mechanism almost always repairs before TCP notices (Figure 12).
+type Counters struct {
+	DataSubmitted  uint64 // unicast network packets handed to the MAC
+	BcastSubmitted uint64
+	QueueDrops     uint64 // interface queue overflow
+	RetryDrops     uint64 // retry limit exhaustion
+	RTSSent        uint64
+	CTSSent        uint64
+	DataSent       uint64 // unicast data frames (incl. MAC retransmissions)
+	AckSent        uint64
+	BcastSent      uint64
+	Retries        uint64 // RTS+data retry events
+	Delivered      uint64 // unicast data frames delivered to the upper layer
+	DupsSuppressed uint64 // MAC-level duplicates filtered at the receiver
+}
+
+// DropProbability returns the per-attempt link-layer failure probability
+// at this node.
+func (c Counters) DropProbability() float64 {
+	attempts := c.RTSSent + c.DataSent
+	if attempts == 0 {
+		return 0
+	}
+	return float64(c.Retries+c.RetryDrops) / float64(attempts)
+}

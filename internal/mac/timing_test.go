@@ -1,0 +1,103 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"manetsim/internal/phy"
+)
+
+// TestTable2FourHopPropagationDelay checks the analytic reproduction of the
+// paper's Table 2: 4-hop propagation delays of 29, 12 and 8 ms for 2, 5.5
+// and 11 Mbit/s (values match after rounding to whole milliseconds).
+func TestTable2FourHopPropagationDelay(t *testing.T) {
+	cases := []struct {
+		rate   phy.Rate
+		wantMS int64
+	}{
+		{phy.Rate2Mbps, 29},
+		{phy.Rate5_5Mbps, 12},
+		{phy.Rate11Mbps, 8},
+	}
+	for _, c := range cases {
+		got := FourHopPropagationDelay(c.rate)
+		if got.Round(time.Millisecond).Milliseconds() != c.wantMS {
+			t.Errorf("FourHopPropagationDelay(%v) = %v (%.2f ms), want %d ms",
+				c.rate, got, float64(got)/1e6, c.wantMS)
+		}
+	}
+}
+
+func TestTimingControlFramesAtControlRate(t *testing.T) {
+	// At 2 Mbit/s (long preamble): RTS = 192us + 20*8/1e6 = 352us.
+	tm := NewTiming(phy.Rate2Mbps)
+	if tm.RTSAir != 352*time.Microsecond {
+		t.Errorf("RTS airtime = %v, want 352us", tm.RTSAir)
+	}
+	if tm.CTSAir != 304*time.Microsecond {
+		t.Errorf("CTS airtime = %v, want 304us", tm.CTSAir)
+	}
+	if tm.AckAir != tm.CTSAir {
+		t.Errorf("ACK airtime %v != CTS airtime %v (same size)", tm.AckAir, tm.CTSAir)
+	}
+	// At 11 Mbit/s (short preamble) control frames shrink only by the
+	// preamble difference: still 1 Mbit/s payload rate.
+	tm11 := NewTiming(phy.Rate11Mbps)
+	if tm11.RTSAir != 256*time.Microsecond {
+		t.Errorf("11M RTS airtime = %v, want 256us", tm11.RTSAir)
+	}
+}
+
+func TestTimingDataAir(t *testing.T) {
+	tm := NewTiming(phy.Rate2Mbps)
+	// 1500 + 28 bytes at 2 Mbit/s + 192us preamble = 6.112ms + 192us.
+	want := 6304 * time.Microsecond
+	if got := tm.DataAir(1500); got != want {
+		t.Errorf("DataAir(1500) = %v, want %v", got, want)
+	}
+}
+
+func TestTimingEIFS(t *testing.T) {
+	tm := NewTiming(phy.Rate2Mbps)
+	want := SIFS + DIFS + tm.AckAir
+	if tm.EIFS != want {
+		t.Errorf("EIFS = %v, want %v", tm.EIFS, want)
+	}
+	if tm.EIFS <= DIFS {
+		t.Error("EIFS must exceed DIFS")
+	}
+}
+
+// TestSublinearBandwidthScaling verifies the mechanism behind the paper's
+// sub-linear goodput growth: 5.5x the bandwidth buys well under 5.5x less
+// per-hop exchange time, because control frames stay at 1 Mbit/s.
+func TestSublinearBandwidthScaling(t *testing.T) {
+	e2 := NewTiming(phy.Rate2Mbps).ExchangeTime(1500)
+	e11 := NewTiming(phy.Rate11Mbps).ExchangeTime(1500)
+	speedup := float64(e2) / float64(e11)
+	if speedup >= 5.5 {
+		t.Errorf("exchange speedup 2->11 Mbit/s = %.2f, want < 5.5 (control overhead)", speedup)
+	}
+	if speedup <= 1.5 {
+		t.Errorf("exchange speedup 2->11 Mbit/s = %.2f, implausibly low", speedup)
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	if FrameRTS.String() != "RTS" || FrameAck.String() != "ACK" {
+		t.Error("frame type names wrong")
+	}
+	if FrameType(42).String() == "" {
+		t.Error("unknown frame type should render")
+	}
+}
+
+func TestCountersDropProbability(t *testing.T) {
+	c := Counters{RTSSent: 80, DataSent: 20, Retries: 4, RetryDrops: 1}
+	if got := c.DropProbability(); got != 0.05 {
+		t.Errorf("drop probability = %v, want 0.05", got)
+	}
+	if (Counters{}).DropProbability() != 0 {
+		t.Error("zero counters should have zero drop probability")
+	}
+}

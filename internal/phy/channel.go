@@ -1,0 +1,246 @@
+package phy
+
+import (
+	"fmt"
+	"time"
+
+	"manetsim/internal/geo"
+	"manetsim/internal/pkt"
+	"manetsim/internal/sim"
+)
+
+// Handler is the interface the MAC layer implements to receive PHY
+// indications. All calls happen inside scheduler events, in a fixed order
+// for simultaneous indications: frame delivery (RxFrame or RxCorrupted)
+// before ChannelIdle.
+type Handler interface {
+	// RxFrame delivers a frame that was decoded without corruption.
+	RxFrame(frame any, from pkt.NodeID)
+	// RxCorrupted signals the end of a signal that could not be delivered
+	// as a good frame: a collision-corrupted decode, sub-decode-threshold
+	// noise (a transmission sensed from beyond TxRange), or a frame that
+	// arrived while transmitting. 802.11 responds with EIFS deferral —
+	// ns-2 behaves the same way for every errored reception, which is
+	// what keeps hidden-terminal neighborhoods from firing into the
+	// SIFS gaps of exchanges they cannot decode.
+	RxCorrupted()
+	// ChannelBusy signals energy appearing on an idle channel.
+	ChannelBusy()
+	// ChannelIdle signals all energy disappearing from the channel.
+	ChannelIdle()
+	// TxDone signals completion of this node's own transmission.
+	TxDone()
+}
+
+// CaptureThreshold is the power ratio (10 dB, linear 10x) above which an
+// in-progress reception survives a new overlapping signal, matching ns-2's
+// CPThresh_. Set Channel.NoCapture to disable (ablation).
+const CaptureThreshold = 10.0
+
+// rxPower returns the relative received power over distance d using the
+// two-ray ground model's d^-4 law (absolute scale is irrelevant — only
+// ratios matter for capture).
+func rxPower(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return 1 / (d * d * d * d)
+}
+
+// neighbor is a precomputed reachability entry from one radio to another.
+type neighbor struct {
+	radio     *Radio
+	propDelay time.Duration
+	decodable bool    // within TxRange (otherwise interference/carrier-sense only)
+	power     float64 // relative received power at the neighbor
+}
+
+// Channel connects the radios of one scenario. Reachability is threshold
+// based and precomputed from node positions.
+type Channel struct {
+	sched  *sim.Scheduler
+	radios []*Radio
+	// NoCapture disables the 10 dB capture effect, making any overlapping
+	// signal within interference range lethal (the ablation model).
+	NoCapture bool
+}
+
+// NewChannel creates a channel for nodes at the given positions and returns
+// it with one radio per node. The handler for each radio must be set with
+// Radio.SetHandler before any traffic flows.
+func NewChannel(sched *sim.Scheduler, positions []geo.Point) *Channel {
+	c := &Channel{sched: sched}
+	c.radios = make([]*Radio, len(positions))
+	for i := range positions {
+		c.radios[i] = &Radio{ch: c, id: pkt.NodeID(i), pos: positions[i]}
+	}
+	for i, r := range c.radios {
+		for j, other := range c.radios {
+			if i == j {
+				continue
+			}
+			d := positions[i].Distance(positions[j])
+			if d <= CSRange {
+				r.neighbors = append(r.neighbors, neighbor{
+					radio:     other,
+					propDelay: PropagationDelay(d),
+					decodable: d <= TxRange,
+					power:     rxPower(d),
+				})
+			}
+		}
+	}
+	return c
+}
+
+// Radio returns the radio of node id.
+func (c *Channel) Radio(id pkt.NodeID) *Radio { return c.radios[id] }
+
+// NumRadios returns the number of radios on the channel.
+func (c *Channel) NumRadios() int { return len(c.radios) }
+
+// signal is one transmission as perceived by one receiver.
+type signal struct {
+	frame      any
+	from       pkt.NodeID
+	decodable  bool
+	power      float64
+	start, end sim.Time
+}
+
+// Radio is the physical layer of one node: it transmits frames onto the
+// channel and tracks the signals currently on the air at its own position
+// to implement carrier sensing and the no-capture collision model.
+type Radio struct {
+	ch        *Channel
+	id        pkt.NodeID
+	pos       geo.Point
+	handler   Handler
+	neighbors []neighbor
+
+	txUntil   sim.Time // end of own transmission (0 => not transmitting)
+	airCount  int      // signals currently arriving (any strength)
+	decoding  *signal  // frame currently being decoded, if any
+	corrupted bool     // decoding frame got hit by a collision
+
+	// Energy accounting (time integrals of radio states).
+	txTime, rxTime time.Duration
+
+	// Counters for link-level diagnostics.
+	FramesSent      uint64
+	FramesDelivered uint64
+	Collisions      uint64 // receptions corrupted at this node
+}
+
+// SetHandler installs the MAC-layer handler.
+func (r *Radio) SetHandler(h Handler) { r.handler = h }
+
+// ID returns the node id this radio belongs to.
+func (r *Radio) ID() pkt.NodeID { return r.id }
+
+// Pos returns the radio position.
+func (r *Radio) Pos() geo.Point { return r.pos }
+
+// Transmitting reports whether the radio is mid-transmission.
+func (r *Radio) Transmitting() bool { return r.txUntil > r.ch.sched.Now() }
+
+// Idle reports whether the physical channel is sensed idle at this radio:
+// no energy on the air and not transmitting.
+func (r *Radio) Idle() bool { return r.airCount == 0 && !r.Transmitting() }
+
+// TxTime returns cumulative transmission time (for the energy model).
+func (r *Radio) TxTime() time.Duration { return r.txTime }
+
+// RxTime returns cumulative decode time (for the energy model).
+func (r *Radio) RxTime() time.Duration { return r.rxTime }
+
+// Transmit puts a frame on the air for the given duration. The caller (the
+// MAC) is responsible for carrier sensing; the radio transmits
+// unconditionally, exactly like hardware. TxDone fires on the handler when
+// the transmission completes.
+func (r *Radio) Transmit(frame any, airtime time.Duration) {
+	now := r.ch.sched.Now()
+	if r.Transmitting() {
+		panic(fmt.Sprintf("phy: node %d transmit while transmitting", r.id))
+	}
+	if airtime <= 0 {
+		panic(fmt.Sprintf("phy: non-positive airtime %v", airtime))
+	}
+	// Half duplex: starting to transmit destroys any in-progress decode.
+	if r.decoding != nil {
+		r.corrupted = true
+	}
+	r.txUntil = now + airtime
+	r.txTime += airtime
+	r.FramesSent++
+	for _, nb := range r.neighbors {
+		nb := nb
+		start := now + nb.propDelay
+		s := &signal{
+			frame: frame, from: r.id, decodable: nb.decodable,
+			power: nb.power, start: start, end: start + airtime,
+		}
+		r.ch.sched.At(start, func() { nb.radio.signalStart(s) })
+		r.ch.sched.At(s.end, func() { nb.radio.signalEnd(s) })
+	}
+	r.ch.sched.At(r.txUntil, func() {
+		r.txUntil = 0
+		r.handler.TxDone()
+	})
+}
+
+// signalStart registers energy arriving at this radio and decides whether a
+// decode begins. Decoding starts only when the frame is within transmission
+// range, the radio is not transmitting, and no other energy is present —
+// any concurrent signal within interference range prevents or corrupts
+// reception (no capture).
+func (r *Radio) signalStart(s *signal) {
+	wasIdle := r.airCount == 0
+	r.airCount++
+	switch {
+	case r.Transmitting():
+		// Half duplex: nothing receivable during own transmission.
+	case r.decoding != nil:
+		// Overlap with an in-progress decode. ns-2 semantics: if the
+		// locked frame is at least 10 dB stronger the new signal is mere
+		// noise (capture); otherwise both are lost. The new signal is
+		// never decoded either way — the receiver stays locked.
+		if r.ch.NoCapture || r.decoding.power < CaptureThreshold*s.power {
+			r.corrupted = true
+		}
+	case s.decodable && wasIdle:
+		r.decoding = s
+		r.corrupted = false
+	}
+	if wasIdle && !r.Transmitting() {
+		r.handler.ChannelBusy()
+	}
+}
+
+// signalEnd removes a signal from the air, completing its decode if it was
+// the one being received. Delivery happens before a possible ChannelIdle
+// indication so the MAC sees NAV updates first. Signals that end without a
+// successful delivery — noise from beyond decode range, corrupted decodes,
+// or anything overlapping our own transmission — report RxCorrupted so the
+// MAC applies EIFS.
+func (r *Radio) signalEnd(s *signal) {
+	r.airCount--
+	switch {
+	case r.decoding == s:
+		r.decoding = nil
+		r.rxTime += s.end - s.start
+		if r.Transmitting() || r.corrupted {
+			r.Collisions++
+			r.handler.RxCorrupted()
+		} else {
+			r.FramesDelivered++
+			r.handler.RxFrame(s.frame, s.from)
+		}
+		r.corrupted = false
+	default:
+		r.handler.RxCorrupted()
+	}
+	if r.airCount == 0 && !r.Transmitting() {
+		r.handler.ChannelIdle()
+	}
+}

@@ -1,0 +1,84 @@
+// Package phy models the wireless physical layer: data rates and frame
+// airtimes for IEEE 802.11b, threshold propagation with distinct
+// transmission (250 m) and carrier-sense/interference (550 m) ranges, and a
+// no-capture collision model. The collision model is what produces the
+// paper's hidden-terminal losses: a reception is corrupted whenever any
+// other transmission within interference range of the receiver overlaps it
+// in time.
+package phy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Rate is a channel bit rate in bits per second.
+type Rate float64
+
+// IEEE 802.11b rates considered in the paper. Control frames (RTS, CTS,
+// MAC-level ACK) are always sent at ControlRate for cross-version
+// compatibility — the reason the paper observes sub-linear goodput growth
+// with bandwidth.
+const (
+	Rate1Mbps   Rate = 1e6
+	Rate2Mbps   Rate = 2e6
+	Rate5_5Mbps Rate = 5.5e6
+	Rate11Mbps  Rate = 11e6
+
+	ControlRate = Rate1Mbps
+)
+
+func (r Rate) String() string {
+	mbps := float64(r) / 1e6
+	if mbps == float64(int64(mbps)) {
+		return fmt.Sprintf("%dMbps", int64(mbps))
+	}
+	return fmt.Sprintf("%gMbps", mbps)
+}
+
+// Radio ranges fixed by the paper's MAC configuration (meters).
+const (
+	TxRange = 250.0
+	CSRange = 550.0 // carrier sensing and interference range
+)
+
+// SpeedOfLight is the propagation speed used for per-hop delays (m/s).
+const SpeedOfLight = 3e8
+
+// PLCP preamble+header overhead. 802.11b long preamble (used with 1 and
+// 2 Mbit/s) costs 192 µs; the short preamble permitted at 5.5 and 11 Mbit/s
+// costs 96 µs. This preamble policy reproduces the paper's Table 2
+// (4-hop propagation delays of 29, 12 and 8 ms for 2, 5.5 and 11 Mbit/s).
+const (
+	PLCPLong  = 192 * time.Microsecond
+	PLCPShort = 96 * time.Microsecond
+)
+
+// Preamble returns the PLCP overhead used by a network whose data rate is
+// dataRate. All frames of that network, including control frames, use the
+// same preamble mode.
+func Preamble(dataRate Rate) time.Duration {
+	if dataRate > Rate2Mbps {
+		return PLCPShort
+	}
+	return PLCPLong
+}
+
+// Airtime returns the on-air duration of a frame of the given size at the
+// given payload rate, including the PLCP preamble chosen by the network's
+// data rate.
+func Airtime(bytes int, rate Rate, preamble time.Duration) time.Duration {
+	if bytes < 0 {
+		panic(fmt.Sprintf("phy: negative frame size %d", bytes))
+	}
+	if rate <= 0 {
+		panic(fmt.Sprintf("phy: non-positive rate %v", rate))
+	}
+	bits := float64(bytes * 8)
+	return preamble + time.Duration(bits/float64(rate)*float64(time.Second))
+}
+
+// PropagationDelay returns the signal propagation delay over d meters.
+func PropagationDelay(d float64) time.Duration {
+	return time.Duration(d / SpeedOfLight * float64(time.Second))
+}

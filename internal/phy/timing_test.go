@@ -1,0 +1,73 @@
+package phy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPreamblePolicy(t *testing.T) {
+	cases := []struct {
+		rate Rate
+		want time.Duration
+	}{
+		{Rate1Mbps, PLCPLong},
+		{Rate2Mbps, PLCPLong},
+		{Rate5_5Mbps, PLCPShort},
+		{Rate11Mbps, PLCPShort},
+	}
+	for _, c := range cases {
+		if got := Preamble(c.rate); got != c.want {
+			t.Errorf("Preamble(%v) = %v, want %v", c.rate, got, c.want)
+		}
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	// 1500 bytes at 2 Mbit/s: 6 ms payload + 192 us preamble.
+	got := Airtime(1500, Rate2Mbps, PLCPLong)
+	want := 6*time.Millisecond + 192*time.Microsecond
+	if got != want {
+		t.Errorf("Airtime(1500, 2M) = %v, want %v", got, want)
+	}
+	// Control frame at 1 Mbit/s: 14 bytes = 112 us + preamble.
+	got = Airtime(14, ControlRate, PLCPLong)
+	want = 112*time.Microsecond + 192*time.Microsecond
+	if got != want {
+		t.Errorf("Airtime(14, 1M) = %v, want %v", got, want)
+	}
+}
+
+func TestAirtimePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative bytes": func() { Airtime(-1, Rate2Mbps, 0) },
+		"zero rate":      func() { Airtime(10, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	// 300 m at light speed = 1 microsecond.
+	if got := PropagationDelay(300); got != time.Microsecond {
+		t.Errorf("PropagationDelay(300m) = %v, want 1us", got)
+	}
+	if got := PropagationDelay(0); got != 0 {
+		t.Errorf("PropagationDelay(0) = %v, want 0", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if Rate2Mbps.String() != "2Mbps" {
+		t.Errorf("2M string = %q", Rate2Mbps.String())
+	}
+	if Rate5_5Mbps.String() != "5.5Mbps" {
+		t.Errorf("5.5M string = %q", Rate5_5Mbps.String())
+	}
+}

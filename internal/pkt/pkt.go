@@ -1,0 +1,123 @@
+// Package pkt defines the network-layer packet representation shared by
+// every protocol layer: transport headers (TCP/UDP at ns-2-style packet
+// granularity), routing payloads, and the wire sizes the paper fixes
+// (1460-byte TCP payloads).
+package pkt
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a node in a scenario (its index in the topology).
+type NodeID int
+
+// Broadcast is the link-layer broadcast address used by routing control
+// traffic.
+const Broadcast NodeID = -1
+
+// Wire sizes in bytes. The paper fixes the TCP payload at 1460 bytes; the
+// 40-byte TCP/IP header puts a full data segment at 1500 bytes on the wire.
+const (
+	TCPPayloadSize = 1460
+	TCPIPHeader    = 40
+	TCPDataSize    = TCPPayloadSize + TCPIPHeader
+	TCPAckSize     = TCPIPHeader
+	UDPIPHeader    = 28
+	UDPDataSize    = TCPPayloadSize + UDPIPHeader
+)
+
+// Kind classifies a packet for statistics and demultiplexing.
+type Kind int
+
+// Packet kinds.
+const (
+	KindTCPData Kind = iota + 1
+	KindTCPAck
+	KindUDPData
+	KindRouting
+)
+
+var kindNames = map[Kind]string{
+	KindTCPData: "tcp-data",
+	KindTCPAck:  "tcp-ack",
+	KindUDPData: "udp-data",
+	KindRouting: "routing",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsData reports whether the packet kind carries application data (used by
+// per-flow goodput accounting).
+func (k Kind) IsData() bool { return k == KindTCPData || k == KindUDPData }
+
+// TCPHeader carries transport state at packet granularity, exactly like
+// ns-2's TCP agents: Seq and Ack count packets, not bytes.
+type TCPHeader struct {
+	Flow int   // flow identifier (connection demux key)
+	Seq  int64 // data: packet sequence number, starting at 0
+	Ack  int64 // ack: cumulative, next expected sequence number
+	// SentAt is the transmission timestamp of the data packet, echoed back
+	// in the ACK; Vegas uses it for fine-grained RTT measurements and
+	// NewReno for RTO sampling (ns-2's timestamp option behaviour).
+	SentAt time.Duration
+	// NoEcho marks ACKs whose timestamp is ambiguous (emitted by the
+	// delayed-ACK regeneration timer, not by a data arrival); senders
+	// skip RTT sampling on them, mirroring Karn's rule.
+	NoEcho bool
+	// Retransmit marks transport-layer retransmissions for accounting.
+	Retransmit bool
+}
+
+// UDPHeader carries the paced-UDP flow id and sequence number. SentAt is
+// the transmission timestamp used for end-to-end delay accounting.
+type UDPHeader struct {
+	Flow   int
+	Seq    int64
+	SentAt time.Duration
+}
+
+// Packet is one network-layer datagram. Packets are passed by pointer and
+// never mutated after construction except for hop-by-hop fields (TTL);
+// layered headers are nil when absent.
+type Packet struct {
+	UID  uint64 // globally unique per scenario, for tracing
+	Kind Kind
+	Size int // bytes at the network layer (payload + IP + transport header)
+
+	Src, Dst NodeID // end-to-end addresses
+	TTL      int
+
+	TCP     *TCPHeader
+	UDP     *UDPHeader
+	Routing any // routing-protocol payload (owned by the routing package)
+}
+
+// String renders a compact trace representation.
+func (p *Packet) String() string {
+	switch {
+	case p.TCP != nil && p.Kind == KindTCPData:
+		return fmt.Sprintf("#%d tcp-data f%d seq=%d %d->%d", p.UID, p.TCP.Flow, p.TCP.Seq, p.Src, p.Dst)
+	case p.TCP != nil:
+		return fmt.Sprintf("#%d tcp-ack f%d ack=%d %d->%d", p.UID, p.TCP.Flow, p.TCP.Ack, p.Src, p.Dst)
+	case p.UDP != nil:
+		return fmt.Sprintf("#%d udp f%d seq=%d %d->%d", p.UID, p.UDP.Flow, p.UDP.Seq, p.Src, p.Dst)
+	default:
+		return fmt.Sprintf("#%d %s %d->%d", p.UID, p.Kind, p.Src, p.Dst)
+	}
+}
+
+// UIDSource hands out unique packet ids for one scenario. The zero value
+// is ready to use.
+type UIDSource struct{ next uint64 }
+
+// Next returns a fresh id.
+func (u *UIDSource) Next() uint64 {
+	u.next++
+	return u.next
+}

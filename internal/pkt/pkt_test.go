@@ -1,0 +1,67 @@
+package pkt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWireSizes(t *testing.T) {
+	if TCPDataSize != 1500 {
+		t.Errorf("TCP data size = %d, want 1500 (1460 payload + 40 header)", TCPDataSize)
+	}
+	if TCPAckSize != 40 {
+		t.Errorf("TCP ack size = %d, want 40", TCPAckSize)
+	}
+	if UDPDataSize != 1488 {
+		t.Errorf("UDP data size = %d, want 1488 (1460 payload + 28 header)", UDPDataSize)
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	if !KindTCPData.IsData() || !KindUDPData.IsData() {
+		t.Error("data kinds must report IsData")
+	}
+	if KindTCPAck.IsData() || KindRouting.IsData() {
+		t.Error("ack/routing kinds must not report IsData")
+	}
+	if KindTCPData.String() != "tcp-data" {
+		t.Errorf("KindTCPData = %q", KindTCPData.String())
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	data := &Packet{UID: 1, Kind: KindTCPData, Src: 0, Dst: 7, TCP: &TCPHeader{Flow: 2, Seq: 41}}
+	if s := data.String(); !strings.Contains(s, "seq=41") || !strings.Contains(s, "f2") {
+		t.Errorf("data string = %q", s)
+	}
+	ack := &Packet{UID: 2, Kind: KindTCPAck, Src: 7, Dst: 0, TCP: &TCPHeader{Flow: 2, Ack: 42}}
+	if s := ack.String(); !strings.Contains(s, "ack=42") {
+		t.Errorf("ack string = %q", s)
+	}
+	udp := &Packet{UID: 3, Kind: KindUDPData, UDP: &UDPHeader{Flow: 1, Seq: 5}}
+	if s := udp.String(); !strings.Contains(s, "udp") {
+		t.Errorf("udp string = %q", s)
+	}
+	route := &Packet{UID: 4, Kind: KindRouting}
+	if s := route.String(); !strings.Contains(s, "routing") {
+		t.Errorf("routing string = %q", s)
+	}
+}
+
+func TestUIDSourceUnique(t *testing.T) {
+	var u UIDSource
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := u.Next()
+		if id == 0 {
+			t.Fatal("uid 0 handed out; 0 is reserved for 'unset'")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate uid %d", id)
+		}
+		seen[id] = true
+	}
+}

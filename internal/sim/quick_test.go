@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickEventOrdering property-checks the core heap invariant: for any
+// workload of scheduled, nested, and cancelled events, callbacks fire in
+// nondecreasing time order and cancelled events never fire.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(seed int64, delaysRaw []uint16, cancelMask []bool) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		s := NewScheduler(seed)
+		var last Time = -1
+		ok := true
+		var events []*Event
+		for i, d := range delaysRaw {
+			at := Time(d) * time.Microsecond
+			ev := s.At(at, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+			if i < len(cancelMask) && cancelMask[i] {
+				s.Cancel(ev)
+				events = append(events, ev)
+			}
+		}
+		s.Run()
+		for _, ev := range events {
+			if !ev.Cancelled() {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNestedScheduling property-checks that events scheduled from
+// inside callbacks preserve ordering and all fire exactly once.
+func TestQuickNestedScheduling(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		s := NewScheduler(seed)
+		rng := rand.New(rand.NewSource(seed))
+		want := int(n%64) + 1
+		fired := 0
+		var last Time = -1
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			fired++
+			if s.Now() < last {
+				fired = -1 << 20 // force failure
+			}
+			last = s.Now()
+			if fired < want {
+				s.After(Time(rng.Intn(500)+1)*time.Microsecond, func() { spawn(depth + 1) })
+			}
+		}
+		s.At(0, func() { spawn(0) })
+		s.Run()
+		return fired == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTimerSingleFiring property-checks that however many times a
+// timer is Reset/Stop-ed, it fires at most once per final Reset and always
+// at the final deadline.
+func TestQuickTimerSingleFiring(t *testing.T) {
+	f := func(resets []uint16, stopAfter bool) bool {
+		s := NewScheduler(1)
+		fired := 0
+		var at Time
+		tm := NewTimer(s, func() {
+			fired++
+			at = s.Now()
+		})
+		var final Time
+		for _, r := range resets {
+			final = Time(r+1) * time.Microsecond
+			tm.Reset(final)
+		}
+		if stopAfter {
+			tm.Stop()
+		}
+		s.Run()
+		if len(resets) == 0 || stopAfter {
+			return fired == 0
+		}
+		return fired == 1 && at == final
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

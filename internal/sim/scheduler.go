@@ -1,0 +1,191 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// other layer of the simulator: a virtual clock, an event heap with
+// deterministic ordering, cancellable timers, and a seeded random number
+// source.
+//
+// The kernel is strictly single-threaded. All protocol code runs inside
+// event callbacks dispatched by (*Scheduler).Run, so no locking is needed
+// anywhere in the simulator and every run is exactly reproducible from its
+// seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in simulated time, measured as a duration since the start
+// of the simulation. The zero value is the simulation epoch.
+type Time = time.Duration
+
+// Event is a scheduled callback. Events are created by Scheduler.At and
+// Scheduler.After and may be cancelled until they fire.
+type Event struct {
+	at     Time
+	seq    uint64 // creation order; breaks ties deterministically
+	index  int    // heap index, -1 once removed
+	fn     func()
+	cancel bool
+}
+
+// At returns the simulated time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Scheduler is a discrete-event scheduler. The zero value is not usable;
+// create one with NewScheduler.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	// dispatched counts events that have fired (for diagnostics and tests).
+	dispatched uint64
+}
+
+// NewScheduler returns a scheduler whose random source is seeded with seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source. All protocol
+// randomness (backoff draws, jitter, topology placement) must come from
+// this source so runs are reproducible.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Dispatched returns the number of events executed so far.
+func (s *Scheduler) Dispatched() uint64 { return s.dispatched }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past (t < Now) panics: it always indicates a protocol bug, and silently
+// reordering events would corrupt causality.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Time, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op, which makes timer
+// management in protocol code straightforward.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight event
+// callback completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+// Step executes the single earliest pending event. It returns false when
+// the queue is empty.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		if e.at < s.now {
+			panic(fmt.Sprintf("sim: time moving backwards: event at %v, now %v", e.at, s.now))
+		}
+		s.now = e.at
+		s.dispatched++
+		e.cancel = true // mark consumed so late Cancel calls are no-ops
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is advanced to the deadline
+// if the queue drains or only later events remain.
+func (s *Scheduler) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped {
+		e := s.queue.peek()
+		if e == nil || e.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// eventQueue is a binary heap ordered by (time, creation sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+func (q eventQueue) peek() *Event {
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}

@@ -1,0 +1,65 @@
+package sim
+
+// Timer is a restartable one-shot timer bound to a scheduler, mirroring the
+// timers protocol stacks need (retransmission timers, ACK-regeneration
+// timers, route expiry). The zero value is unusable; create with NewTimer.
+//
+// Unlike scheduling raw events, a Timer guarantees at most one pending
+// expiry at a time: rescheduling implicitly cancels the previous one.
+type Timer struct {
+	sched *Scheduler
+	fn    func()
+	ev    *Event
+}
+
+// NewTimer returns a stopped timer that runs fn on expiry.
+func NewTimer(sched *Scheduler, fn func()) *Timer {
+	if sched == nil {
+		panic("sim: NewTimer with nil scheduler")
+	}
+	if fn == nil {
+		panic("sim: NewTimer with nil callback")
+	}
+	return &Timer{sched: sched, fn: fn}
+}
+
+// Reset (re)schedules the timer to fire d from now, cancelling any pending
+// expiry.
+func (t *Timer) Reset(d Time) {
+	t.Stop()
+	ev := t.sched.After(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+	t.ev = ev
+}
+
+// ResetAt (re)schedules the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	ev := t.sched.At(at, func() {
+		t.ev = nil
+		t.fn()
+	})
+	t.ev = ev
+}
+
+// Stop cancels a pending expiry. Stopping an idle timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.sched.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Pending reports whether an expiry is scheduled.
+func (t *Timer) Pending() bool { return t.ev != nil }
+
+// Deadline returns the time of the pending expiry; it is only meaningful
+// when Pending reports true.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.At()
+}

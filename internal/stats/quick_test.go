@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickJainIndexBounds property-checks 1/n <= index <= 1 for any
+// nonnegative, not-all-zero allocation.
+func TestQuickJainIndexBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		nonzero := false
+		for i, r := range raw {
+			xs[i] = float64(r)
+			if r != 0 {
+				nonzero = true
+			}
+		}
+		idx := JainIndex(xs)
+		if !nonzero {
+			return idx == 0
+		}
+		n := float64(len(xs))
+		return idx >= 1/n-1e-12 && idx <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJainScaleInvariance property-checks index(k·x) == index(x).
+func TestQuickJainScaleInvariance(t *testing.T) {
+	f := func(raw []uint16, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := float64(kRaw%100) + 1
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		for i, r := range raw {
+			a[i] = float64(r)
+			b[i] = float64(r) * k
+		}
+		return math.Abs(JainIndex(a)-JainIndex(b)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBatchMeansContainsMeanOfConstant property-checks that the CI of
+// i.i.d. samples always brackets values between min and max, and that the
+// estimate of shifted data shifts by the same amount.
+func TestQuickBatchMeansShiftEquivariance(t *testing.T) {
+	f := func(raw []uint16, shiftRaw uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		shift := float64(shiftRaw)
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		for i, r := range raw {
+			a[i] = float64(r)
+			b[i] = float64(r) + shift
+		}
+		ea, eb := BatchMeans(a), BatchMeans(b)
+		return math.Abs(eb.Mean-ea.Mean-shift) < 1e-6 &&
+			math.Abs(eb.HalfCI-ea.HalfCI) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCounterMatchesBatchFormulas property-checks Welford online
+// moments against direct two-pass computation.
+func TestQuickCounterMatchesBatchFormulas(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var c Counter
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+			c.Add(xs[i])
+		}
+		mean := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(len(xs)-1)
+		return math.Abs(c.Mean()-mean) < 1e-6 && math.Abs(c.Variance()-wantVar) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTimeWeightedBounds property-checks min <= average <= max for
+// any piecewise-constant trajectory.
+func TestQuickTimeWeightedBounds(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var w TimeWeighted
+		lo, hi := math.Inf(1), math.Inf(-1)
+		now := time.Duration(0)
+		steps := int(n%20) + 1
+		for i := 0; i < steps; i++ {
+			v := float64(rng.Intn(100))
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			w.Set(now, v)
+			now += time.Duration(rng.Intn(1000)+1) * time.Microsecond
+		}
+		avg := w.AverageAt(now)
+		return avg >= lo-1e-9 && avg <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

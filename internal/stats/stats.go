@@ -1,0 +1,220 @@
+// Package stats provides the statistical machinery the paper's evaluation
+// methodology relies on: batch-means estimation with Student-t confidence
+// intervals, Jain's fairness index, time-weighted averages (for congestion
+// window traces), and simple online moment accumulators.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Estimate is a point estimate with a symmetric confidence interval.
+type Estimate struct {
+	Mean     float64
+	HalfCI   float64 // half-width of the confidence interval
+	N        int     // number of samples (batches)
+	Level    float64 // confidence level, e.g. 0.95
+	Variance float64 // sample variance of the batch means
+}
+
+// Lo returns the lower confidence bound.
+func (e Estimate) Lo() float64 { return e.Mean - e.HalfCI }
+
+// Hi returns the upper confidence bound.
+func (e Estimate) Hi() float64 { return e.Mean + e.HalfCI }
+
+// RelativeWidth returns HalfCI/|Mean|, the paper's "width below 5% of the
+// measure's value" criterion; it returns +Inf for a zero mean with nonzero
+// half-width.
+func (e Estimate) RelativeWidth() float64 {
+	if e.Mean == 0 {
+		if e.HalfCI == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return e.HalfCI / math.Abs(e.Mean)
+}
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", e.Mean, e.HalfCI, e.N)
+}
+
+// BatchMeans computes the batch-means point estimate and a 95% confidence
+// interval from per-batch values, exactly as in the paper: the caller has
+// already discarded the warm-up batch. It panics on an empty input; a
+// single batch yields a zero-width interval.
+func BatchMeans(batches []float64) Estimate {
+	n := len(batches)
+	if n == 0 {
+		panic("stats: BatchMeans with no batches")
+	}
+	mean := Mean(batches)
+	if n == 1 {
+		return Estimate{Mean: mean, N: 1, Level: 0.95}
+	}
+	var ss float64
+	for _, v := range batches {
+		d := v - mean
+		ss += d * d
+	}
+	variance := ss / float64(n-1)
+	half := StudentT975(n-1) * math.Sqrt(variance/float64(n))
+	return Estimate{Mean: mean, HalfCI: half, N: n, Level: 0.95, Variance: variance}
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// JainIndex computes Jain's fairness index (Σx)²/(n·Σx²) over per-flow
+// goodputs. It is 1 for perfectly equal allocations, 1/n when a single flow
+// captures everything, and is scale-invariant. An all-zero or empty input
+// returns 0 by convention.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// studentT975 holds two-sided 95% critical values of Student's t
+// distribution indexed by degrees of freedom (index 0 unused). Ten batches
+// (df=9) — the paper's configuration — gives 2.262.
+var studentT975 = [...]float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// StudentT975 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom, falling back to the normal quantile 1.96 for large df.
+func StudentT975(df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(studentT975) {
+		return studentT975[df]
+	}
+	switch {
+	case df < 40:
+		return 2.030
+	case df < 60:
+		return 2.009
+	case df < 120:
+		return 1.990
+	}
+	return 1.960
+}
+
+// TimeWeighted accumulates the time-weighted average of a piecewise-
+// constant signal, e.g. the TCP congestion window. The zero value is ready
+// to use; call Set on every change and Finish (or AverageAt) to read the
+// mean. Samples before the first Set are ignored.
+type TimeWeighted struct {
+	started  bool
+	lastT    time.Duration
+	lastV    float64
+	integral float64
+	span     time.Duration
+}
+
+// Set records that the signal takes value v from time t onward.
+func (w *TimeWeighted) Set(t time.Duration, v float64) {
+	if w.started && t > w.lastT {
+		w.integral += w.lastV * float64(t-w.lastT)
+		w.span += t - w.lastT
+	}
+	w.started = true
+	w.lastT = t
+	w.lastV = v
+}
+
+// AverageAt returns the time-weighted mean over [firstSet, t].
+func (w *TimeWeighted) AverageAt(t time.Duration) float64 {
+	integral, span := w.integral, w.span
+	if w.started && t > w.lastT {
+		integral += w.lastV * float64(t-w.lastT)
+		span += t - w.lastT
+	}
+	if span == 0 {
+		if w.started {
+			return w.lastV
+		}
+		return 0
+	}
+	return integral / float64(span)
+}
+
+// Reset clears accumulated history but keeps the current value, so window
+// averages can be computed per measurement batch. The current value
+// continues to accumulate from time t.
+func (w *TimeWeighted) Reset(t time.Duration) {
+	if w.started && t > w.lastT {
+		w.lastT = t
+	}
+	w.integral = 0
+	w.span = 0
+}
+
+// Counter is an online mean/variance accumulator (Welford's algorithm).
+// The zero value is ready to use.
+type Counter struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (c *Counter) Add(x float64) {
+	c.n++
+	if c.n == 1 {
+		c.min, c.max = x, x
+	} else {
+		c.min = math.Min(c.min, x)
+		c.max = math.Max(c.max, x)
+	}
+	d := x - c.mean
+	c.mean += d / float64(c.n)
+	c.m2 += d * (x - c.mean)
+}
+
+// N returns the number of observations.
+func (c *Counter) N() int { return c.n }
+
+// Mean returns the running mean (0 with no observations).
+func (c *Counter) Mean() float64 { return c.mean }
+
+// Variance returns the sample variance (0 with fewer than 2 observations).
+func (c *Counter) Variance() float64 {
+	if c.n < 2 {
+		return 0
+	}
+	return c.m2 / float64(c.n-1)
+}
+
+// Min returns the smallest observation (0 with none).
+func (c *Counter) Min() float64 { return c.min }
+
+// Max returns the largest observation (0 with none).
+func (c *Counter) Max() float64 { return c.max }

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestBatchMeansKnownValues(t *testing.T) {
+	// 10 batches as in the paper's methodology; hand-computed CI.
+	batches := []float64{10, 12, 11, 9, 10, 11, 12, 10, 9, 11}
+	e := BatchMeans(batches)
+	if !almostEqual(e.Mean, 10.5, 1e-9) {
+		t.Errorf("mean = %v, want 10.5", e.Mean)
+	}
+	// variance = 1.1667, half = 2.262*sqrt(1.1667/10) = 0.7727
+	if !almostEqual(e.HalfCI, 0.77268, 1e-3) {
+		t.Errorf("half CI = %v, want ~0.7727", e.HalfCI)
+	}
+	if e.N != 10 {
+		t.Errorf("N = %d, want 10", e.N)
+	}
+}
+
+func TestBatchMeansSingleBatch(t *testing.T) {
+	e := BatchMeans([]float64{42})
+	if e.Mean != 42 || e.HalfCI != 0 {
+		t.Errorf("single batch = %+v, want mean 42 half 0", e)
+	}
+}
+
+func TestBatchMeansConstantBatches(t *testing.T) {
+	e := BatchMeans([]float64{5, 5, 5, 5})
+	if e.Mean != 5 || e.HalfCI != 0 {
+		t.Errorf("constant batches = %+v, want zero-width CI", e)
+	}
+}
+
+func TestBatchMeansEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty BatchMeans did not panic")
+		}
+	}()
+	BatchMeans(nil)
+}
+
+func TestEstimateBoundsAndRelativeWidth(t *testing.T) {
+	e := Estimate{Mean: 10, HalfCI: 2}
+	if e.Lo() != 8 || e.Hi() != 12 {
+		t.Errorf("bounds = [%v,%v], want [8,12]", e.Lo(), e.Hi())
+	}
+	if !almostEqual(e.RelativeWidth(), 0.2, 1e-12) {
+		t.Errorf("relative width = %v, want 0.2", e.RelativeWidth())
+	}
+	zero := Estimate{}
+	if zero.RelativeWidth() != 0 {
+		t.Errorf("zero estimate relative width = %v, want 0", zero.RelativeWidth())
+	}
+	if !math.IsInf(Estimate{HalfCI: 1}.RelativeWidth(), 1) {
+		t.Error("zero mean nonzero CI should have infinite relative width")
+	}
+}
+
+func TestJainIndexEqualFlows(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5, 5}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("equal flows index = %v, want 1", got)
+	}
+}
+
+func TestJainIndexSingleWinner(t *testing.T) {
+	// One flow takes everything among n: index = 1/n.
+	xs := []float64{0, 0, 0, 0, 0, 9}
+	if got := JainIndex(xs); !almostEqual(got, 1.0/6, 1e-12) {
+		t.Errorf("starved flows index = %v, want 1/6", got)
+	}
+}
+
+func TestJainIndexScaleInvariance(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40}
+	if !almostEqual(JainIndex(a), JainIndex(b), 1e-12) {
+		t.Errorf("Jain index not scale invariant: %v vs %v", JainIndex(a), JainIndex(b))
+	}
+}
+
+func TestJainIndexEdgeCases(t *testing.T) {
+	if JainIndex(nil) != 0 {
+		t.Error("empty index should be 0")
+	}
+	if JainIndex([]float64{0, 0}) != 0 {
+		t.Error("all-zero index should be 0")
+	}
+	if got := JainIndex([]float64{7}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("single flow = %v, want 1", got)
+	}
+}
+
+func TestStudentTTable(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{{1, 12.706}, {9, 2.262}, {29, 2.045}, {30, 2.042}, {1000, 1.96}}
+	for _, c := range cases {
+		if got := StudentT975(c.df); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("t(df=%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if !math.IsNaN(StudentT975(0)) {
+		t.Error("df=0 should be NaN")
+	}
+}
+
+func TestTimeWeightedAverage(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 2)                 // 2 for 10ms
+	w.Set(10*time.Millisecond, 4) // 4 for 10ms
+	got := w.AverageAt(20 * time.Millisecond)
+	if !almostEqual(got, 3, 1e-9) {
+		t.Errorf("average = %v, want 3", got)
+	}
+}
+
+func TestTimeWeightedIgnoresBeforeFirstSet(t *testing.T) {
+	var w TimeWeighted
+	if got := w.AverageAt(time.Second); got != 0 {
+		t.Errorf("average with no samples = %v, want 0", got)
+	}
+	w.Set(time.Second, 5)
+	if got := w.AverageAt(time.Second); got != 5 {
+		t.Errorf("instantaneous average = %v, want current value 5", got)
+	}
+}
+
+func TestTimeWeightedReset(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 100)
+	w.Set(10*time.Millisecond, 2)
+	w.Reset(10 * time.Millisecond)
+	w.Set(20*time.Millisecond, 4)
+	got := w.AverageAt(30 * time.Millisecond)
+	if !almostEqual(got, 3, 1e-9) {
+		t.Errorf("post-reset average = %v, want 3 (history cleared)", got)
+	}
+}
+
+func TestTimeWeightedOutOfOrderSetIgnored(t *testing.T) {
+	var w TimeWeighted
+	w.Set(10*time.Millisecond, 2)
+	w.Set(10*time.Millisecond, 6) // same instant: replaces value, no span
+	got := w.AverageAt(20 * time.Millisecond)
+	if !almostEqual(got, 6, 1e-9) {
+		t.Errorf("average = %v, want 6", got)
+	}
+}
+
+func TestCounterMoments(t *testing.T) {
+	var c Counter
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		c.Add(x)
+	}
+	if c.N() != 8 {
+		t.Errorf("N = %d, want 8", c.N())
+	}
+	if !almostEqual(c.Mean(), 5, 1e-9) {
+		t.Errorf("mean = %v, want 5", c.Mean())
+	}
+	if !almostEqual(c.Variance(), 32.0/7, 1e-9) {
+		t.Errorf("variance = %v, want %v", c.Variance(), 32.0/7)
+	}
+	if c.Min() != 2 || c.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", c.Min(), c.Max())
+	}
+}
+
+func TestCounterZeroValue(t *testing.T) {
+	var c Counter
+	if c.Mean() != 0 || c.Variance() != 0 || c.N() != 0 {
+		t.Error("zero counter should report zeros")
+	}
+	c.Add(3)
+	if c.Variance() != 0 {
+		t.Error("variance with one sample should be 0")
+	}
+}

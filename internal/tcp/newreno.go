@@ -1,0 +1,134 @@
+package tcp
+
+import (
+	"manetsim/internal/pkt"
+	"manetsim/internal/sim"
+)
+
+// NewRenoSender implements TCP NewReno congestion control (RFC 3782 as in
+// ns-2's Agent/TCP/Newreno): slow start, congestion avoidance, fast
+// retransmit after three duplicate ACKs, and NewReno fast recovery with
+// partial-ACK retransmission.
+type NewRenoSender struct {
+	*base
+	ssthresh   float64
+	inRecovery bool
+	recover    int64 // highest sequence outstanding when loss was detected
+}
+
+var _ Sender = (*NewRenoSender)(nil)
+
+// NewNewReno constructs a NewReno sender for one flow.
+func NewNewReno(sched *sim.Scheduler, cfg Config, flow int, src, dst pkt.NodeID, uids *pkt.UIDSource, out Output) *NewRenoSender {
+	s := &NewRenoSender{ssthresh: 64}
+	s.base = newBase(sched, cfg, flow, src, dst, uids, out)
+	if cfg.withDefaults().Wmax < int(s.ssthresh) {
+		s.ssthresh = float64(cfg.withDefaults().Wmax)
+	}
+	s.rtxTimer = sim.NewTimer(sched, s.onRTO)
+	s.onTimeout = s.onRTO
+	return s
+}
+
+// Start begins the transfer.
+func (s *NewRenoSender) Start() {
+	s.setCwnd(float64(s.cfg.Winit))
+	s.sendUpTo()
+}
+
+// HandleAck processes a cumulative acknowledgment.
+func (s *NewRenoSender) HandleAck(p *pkt.Packet) {
+	if p.TCP == nil {
+		return
+	}
+	s.stats.AcksSeen++
+	ack := p.TCP.Ack
+	if ack > s.ackNext {
+		s.onNewAck(p, ack)
+	} else if s.ackNext < s.nextSeq {
+		// Pure duplicate with data outstanding.
+		s.onDupAck()
+	}
+	s.sendUpTo()
+}
+
+func (s *NewRenoSender) onNewAck(p *pkt.Packet, ack int64) {
+	newlyAcked := s.ackAdvance(ack)
+	if !p.TCP.NoEcho {
+		s.sampleRTT(s.sched.Now() - p.TCP.SentAt)
+	}
+
+	if s.inRecovery {
+		if ack > s.recover {
+			// Full ACK: leave fast recovery, deflate to ssthresh.
+			s.inRecovery = false
+			s.dupacks = 0
+			s.setCwnd(s.ssthresh)
+		} else {
+			// Partial ACK: the next hole is lost too — retransmit it,
+			// deflate by the amount acked, stay in recovery (RFC 3782).
+			s.transmit(ack)
+			w := s.cwnd - float64(newlyAcked) + 1
+			if w < 1 {
+				w = 1
+			}
+			s.setCwnd(w)
+		}
+		return
+	}
+	s.dupacks = 0
+	// Window growth: slow start below ssthresh, else congestion avoidance.
+	for i := int64(0); i < newlyAcked; i++ {
+		if s.cwnd < s.ssthresh {
+			s.setCwnd(s.cwnd + 1)
+		} else {
+			s.setCwnd(s.cwnd + 1/s.cwnd)
+		}
+	}
+}
+
+func (s *NewRenoSender) onDupAck() {
+	s.stats.DupAcks++
+	if s.inRecovery {
+		// Window inflation per extra duplicate.
+		s.setCwnd(s.cwnd + 1)
+		return
+	}
+	s.dupacks++
+	if s.dupacks < 3 {
+		return
+	}
+	// Fast retransmit + NewReno fast recovery.
+	s.stats.FastRecov++
+	s.inRecovery = true
+	s.recover = s.nextSeq - 1
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.setCwnd(s.ssthresh + 3)
+	s.transmit(s.ackNext)
+}
+
+// onRTO handles a retransmission timeout: shrink to Winit, back off the
+// timer, and slow start again.
+func (s *NewRenoSender) onRTO() {
+	if s.ackNext >= s.nextSeq {
+		return // nothing outstanding
+	}
+	s.stats.Timeouts++
+	flight := float64(s.nextSeq - s.ackNext)
+	s.ssthresh = flight / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.inRecovery = false
+	s.dupacks = 0
+	s.growBackoff()
+	s.setCwnd(float64(s.cfg.Winit))
+	s.rtxTimer.Reset(s.currentRTO())
+	// Go back N: resume transmission from the first unacked packet, as
+	// BSD/ns-2 TCP does (snd_nxt pulled back to the highest ACK).
+	s.nextSeq = s.ackNext
+	s.sendUpTo()
+}

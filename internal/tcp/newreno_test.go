@@ -1,0 +1,161 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"manetsim/internal/pkt"
+)
+
+func TestNewRenoSlowStartDoublesPerRTT(t *testing.T) {
+	// Clean fat pipe: 20ms RTT, fast service, no losses.
+	pp := newPipe(1, 10*time.Millisecond, 100*time.Microsecond, 0)
+	s := pp.connectNewReno(Config{})
+	pp.run(400 * time.Millisecond)
+	// Exponential growth must have filled the advertised window by now
+	// (~64 packets needs ~6 RTTs = 120ms).
+	if s.Window() < 60 {
+		t.Errorf("cwnd = %v after 20 RTTs of clean slow start, want near Wmax 64", s.Window())
+	}
+	if got := s.Stats().Timeouts; got != 0 {
+		t.Errorf("timeouts = %d, want 0", got)
+	}
+	if got := s.Stats().Retransmits; got != 0 {
+		t.Errorf("retransmits = %d, want 0", got)
+	}
+	if pp.sink.Stats().GoodputPackets < 500 {
+		t.Errorf("goodput = %d packets, implausibly low", pp.sink.Stats().GoodputPackets)
+	}
+}
+
+func TestNewRenoRespectsMaxWindow(t *testing.T) {
+	pp := newPipe(1, 10*time.Millisecond, 100*time.Microsecond, 0)
+	s := pp.connectNewReno(Config{MaxWindow: 3})
+	pp.run(300 * time.Millisecond)
+	// cwnd may grow internally but the effective window (and thus flight
+	// size) stays at 3.
+	if got := s.effectiveWindow(); got != 3 {
+		t.Errorf("effective window = %d, want 3", got)
+	}
+	// Goodput bounded by 3 packets per RTT (20ms) = 150 pkt/s.
+	max := int64(300/20*3) + 6
+	if g := pp.sink.Stats().GoodputPackets; g > max {
+		t.Errorf("goodput %d exceeds MaxWindow bound %d", g, max)
+	}
+}
+
+func TestNewRenoFastRetransmitSingleLoss(t *testing.T) {
+	pp := newPipe(1, 10*time.Millisecond, 100*time.Microsecond, 0)
+	dropped := false
+	pp.dropData = func(h *pkt2) bool {
+		if h.Seq == 30 && !h.Retransmit && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	s := pp.connectNewReno(Config{})
+	pp.run(2 * time.Second)
+	st := s.Stats()
+	if st.Timeouts != 0 {
+		t.Errorf("timeouts = %d, want 0 (fast retransmit should recover)", st.Timeouts)
+	}
+	if st.FastRecov != 1 {
+		t.Errorf("fast recoveries = %d, want 1", st.FastRecov)
+	}
+	if st.Retransmits != 1 {
+		t.Errorf("retransmits = %d, want 1", st.Retransmits)
+	}
+	if pp.sink.Stats().GoodputPackets < 1000 {
+		t.Errorf("goodput = %d, transfer stalled", pp.sink.Stats().GoodputPackets)
+	}
+}
+
+func TestNewRenoPartialAckRecoversMultipleLossesWithoutTimeout(t *testing.T) {
+	pp := newPipe(1, 10*time.Millisecond, 100*time.Microsecond, 0)
+	drops := map[int64]bool{40: true, 42: true, 44: true}
+	pp.dropData = func(h *pkt2) bool {
+		if h.Retransmit {
+			return false
+		}
+		if drops[h.Seq] {
+			delete(drops, h.Seq)
+			return true
+		}
+		return false
+	}
+	s := pp.connectNewReno(Config{})
+	pp.run(3 * time.Second)
+	st := s.Stats()
+	if st.Timeouts != 0 {
+		t.Errorf("timeouts = %d, want 0 (NewReno partial ACKs must recover)", st.Timeouts)
+	}
+	if st.FastRecov != 1 {
+		t.Errorf("fast recovery episodes = %d, want 1 (partial ACKs stay in recovery)", st.FastRecov)
+	}
+	if st.Retransmits != 3 {
+		t.Errorf("retransmits = %d, want 3", st.Retransmits)
+	}
+	if pp.sink.Stats().GoodputPackets < 1000 {
+		t.Errorf("goodput = %d, transfer stalled", pp.sink.Stats().GoodputPackets)
+	}
+}
+
+func TestNewRenoTimeoutOnTotalLoss(t *testing.T) {
+	pp := newPipe(1, 10*time.Millisecond, 100*time.Microsecond, 0)
+	blackout := false
+	pp.dropData = func(h *pkt2) bool { return blackout }
+	s := pp.connectNewReno(Config{})
+	pp.sched.At(500*time.Millisecond, func() { blackout = true })
+	pp.sched.At(1500*time.Millisecond, func() { blackout = false })
+	pp.run(4 * time.Second)
+	st := s.Stats()
+	if st.Timeouts == 0 {
+		t.Error("no timeout despite a 1s blackout")
+	}
+	// Transfer resumes after the blackout.
+	if pp.sink.Stats().GoodputPackets < 1500 {
+		t.Errorf("goodput = %d, did not resume after blackout", pp.sink.Stats().GoodputPackets)
+	}
+}
+
+func TestNewRenoRTOBackoffDoubles(t *testing.T) {
+	pp := newPipe(1, 10*time.Millisecond, 100*time.Microsecond, 0)
+	pp.dropData = func(h *pkt2) bool { return h.Seq >= 5 } // permanent hole
+	s := pp.connectNewReno(Config{})
+	pp.run(10 * time.Second)
+	if s.Stats().Timeouts < 3 {
+		t.Fatalf("timeouts = %d, want >=3", s.Stats().Timeouts)
+	}
+	if s.backoff < 8 {
+		t.Errorf("backoff = %d after %d timeouts, want exponential growth", s.backoff, s.Stats().Timeouts)
+	}
+}
+
+func TestNewRenoLossesHalveWindow(t *testing.T) {
+	// Tight buffer: NewReno must overflow it and halve cwnd repeatedly,
+	// producing the sawtooth.
+	pp := newPipe(1, 10*time.Millisecond, 1*time.Millisecond, 10)
+	s := pp.connectNewReno(Config{})
+	maxW := 0.0
+	probe := func() {}
+	probe = func() {
+		if s.Window() > maxW {
+			maxW = s.Window()
+		}
+		pp.sched.After(10*time.Millisecond, probe)
+	}
+	pp.sched.At(0, probe)
+	pp.run(5 * time.Second)
+	if s.Stats().FastRecov == 0 && s.Stats().Timeouts == 0 {
+		t.Error("no loss events despite a 10-packet bottleneck buffer")
+	}
+	// BDP = 20ms/1ms = 20 packets + 10 queue; cwnd must have been driven
+	// well above the BDP (loss probing) but cannot sit at Wmax forever.
+	if maxW < 25 {
+		t.Errorf("max cwnd = %v, want above path BDP (loss-probing behaviour)", maxW)
+	}
+}
+
+// pkt2 aliases the TCP header type for the drop functions' brevity.
+type pkt2 = pkt.TCPHeader

@@ -1,0 +1,113 @@
+package tcp
+
+import (
+	"manetsim/internal/pkt"
+	"manetsim/internal/sim"
+)
+
+// RenoSender implements classic TCP Reno (RFC 2581): fast retransmit after
+// three duplicate ACKs and fast recovery that exits on the *first* new ACK.
+// Unlike NewReno it does not retransmit further holes on partial ACKs, so
+// multiple losses in one window usually cost a coarse timeout — the
+// behaviour that motivated NewReno and one of the baselines in the
+// Xu & Saadawi comparison the paper's related work discusses.
+type RenoSender struct {
+	*base
+	ssthresh   float64
+	inRecovery bool
+}
+
+var _ Sender = (*RenoSender)(nil)
+
+// NewReno1990 constructs a classic Reno sender for one flow. (The name
+// avoids colliding with NewNewReno; Reno predates NewReno.)
+func NewReno1990(sched *sim.Scheduler, cfg Config, flow int, src, dst pkt.NodeID, uids *pkt.UIDSource, out Output) *RenoSender {
+	s := &RenoSender{ssthresh: 64}
+	s.base = newBase(sched, cfg, flow, src, dst, uids, out)
+	if w := cfg.withDefaults().Wmax; float64(w) < s.ssthresh {
+		s.ssthresh = float64(w)
+	}
+	s.rtxTimer = sim.NewTimer(sched, s.onRTO)
+	s.onTimeout = s.onRTO
+	return s
+}
+
+// Start begins the transfer.
+func (s *RenoSender) Start() {
+	s.setCwnd(float64(s.cfg.Winit))
+	s.sendUpTo()
+}
+
+// HandleAck processes a cumulative acknowledgment.
+func (s *RenoSender) HandleAck(p *pkt.Packet) {
+	if p.TCP == nil {
+		return
+	}
+	s.stats.AcksSeen++
+	ack := p.TCP.Ack
+	if ack > s.ackNext {
+		newly := s.ackAdvance(ack)
+		if !p.TCP.NoEcho {
+			s.sampleRTT(s.sched.Now() - p.TCP.SentAt)
+		}
+		if s.inRecovery {
+			// Any new ACK ends Reno fast recovery, deflating to ssthresh —
+			// remaining holes must be found by dupacks again or by the
+			// retransmission timer.
+			s.inRecovery = false
+			s.dupacks = 0
+			s.setCwnd(s.ssthresh)
+		} else {
+			s.dupacks = 0
+			for i := int64(0); i < newly; i++ {
+				if s.cwnd < s.ssthresh {
+					s.setCwnd(s.cwnd + 1)
+				} else {
+					s.setCwnd(s.cwnd + 1/s.cwnd)
+				}
+			}
+		}
+	} else if s.ackNext < s.nextSeq {
+		s.onDupAck()
+	}
+	s.sendUpTo()
+}
+
+func (s *RenoSender) onDupAck() {
+	s.stats.DupAcks++
+	if s.inRecovery {
+		s.setCwnd(s.cwnd + 1)
+		return
+	}
+	s.dupacks++
+	if s.dupacks < 3 {
+		return
+	}
+	s.stats.FastRecov++
+	s.inRecovery = true
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.setCwnd(s.ssthresh + 3)
+	s.transmit(s.ackNext)
+}
+
+func (s *RenoSender) onRTO() {
+	if s.ackNext >= s.nextSeq {
+		return
+	}
+	s.stats.Timeouts++
+	flight := float64(s.nextSeq - s.ackNext)
+	s.ssthresh = flight / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.inRecovery = false
+	s.dupacks = 0
+	s.growBackoff()
+	s.setCwnd(float64(s.cfg.Winit))
+	s.rtxTimer.Reset(s.currentRTO())
+	s.nextSeq = s.ackNext
+	s.sendUpTo()
+}

@@ -1,0 +1,311 @@
+// Package tcp implements the two TCP variants the paper compares — NewReno
+// and Vegas — together with the receiver-side ACK policies (per-packet
+// ACKing and the dynamic ACK thinning of Altman & Jiménez).
+//
+// Like ns-2's TCP agents, everything operates at packet granularity:
+// sequence numbers count 1460-byte packets, the congestion window is
+// measured in packets, and the application is an infinite (FTP) backlog.
+// Packet timestamps are echoed by the sink, giving the sender exact RTT
+// samples (ns-2's timestamp behaviour); Karn's problem is avoided because
+// retransmitted packets carry fresh timestamps.
+package tcp
+
+import (
+	"math"
+	"time"
+
+	"manetsim/internal/pkt"
+	"manetsim/internal/sim"
+	"manetsim/internal/stats"
+)
+
+// Config carries the transport parameters of Table 1 plus timer settings.
+// The zero value of a field selects the default in parentheses.
+type Config struct {
+	Wmax  int // maximum window advertised by the receiver (64)
+	Winit int // initial window in slow start and after a timeout (1)
+	// MaxWindow artificially bounds the congestion window, implementing
+	// the paper's "NewReno Optimal Window" variant (MaxWin=3 for the
+	// 7-hop chain). 0 means no extra bound.
+	MaxWindow int
+
+	InitialRTO time.Duration // RTO before the first RTT sample (1s)
+	MinRTO     time.Duration // RTO floor (200ms)
+	MaxRTO     time.Duration // RTO ceiling (60s)
+
+	// Vegas thresholds in packets; the paper fixes Alpha == Beta and
+	// Gamma = Alpha (all default 2).
+	Alpha int
+	Beta  int
+	Gamma int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Wmax == 0 {
+		c.Wmax = 64
+	}
+	if c.Winit == 0 {
+		c.Winit = 1
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = time.Second
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60 * time.Second
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 2
+	}
+	if c.Beta == 0 {
+		c.Beta = c.Alpha
+	}
+	if c.Gamma == 0 {
+		c.Gamma = c.Alpha
+	}
+	return c
+}
+
+// Stats aggregates sender-side counters. Retransmits/delivered packets is
+// the paper's Figures 7 and 12 metric.
+type Stats struct {
+	DataSent    uint64 // data transmissions including retransmissions
+	Retransmits uint64
+	Timeouts    uint64
+	FastRecov   uint64 // fast-retransmit episodes
+	AcksSeen    uint64
+	DupAcks     uint64
+}
+
+// Sender is the interface shared by the NewReno and Vegas senders.
+type Sender interface {
+	// Start begins transmitting (infinite backlog).
+	Start()
+	// HandleAck processes an incoming ACK for this flow.
+	HandleAck(p *pkt.Packet)
+	// Stats returns a snapshot of the sender counters.
+	Stats() Stats
+	// Window returns the current congestion window in packets.
+	Window() float64
+	// WindowTrace exposes the time-weighted window accumulator (the core
+	// layer resets it per measurement batch).
+	WindowTrace() *stats.TimeWeighted
+}
+
+// Output injects a packet into the network (the routing layer's Send).
+type Output func(p *pkt.Packet)
+
+// base carries the machinery common to both senders: sequence accounting,
+// RTO estimation and the retransmission timer, packet construction, and
+// window tracing.
+type base struct {
+	sched *sim.Scheduler
+	cfg   Config
+	out   Output
+	uids  *pkt.UIDSource
+
+	flow     int
+	src, dst pkt.NodeID
+
+	nextSeq int64 // next sequence to transmit
+	maxSeq  int64 // one past the highest sequence ever transmitted
+	ackNext int64 // next sequence expected by the receiver (cum. ACK)
+	cwnd    float64
+	dupacks int
+
+	// sentAt records the latest transmission time per in-flight sequence
+	// (Vegas' fine-grained checks and loss bookkeeping).
+	sentAt map[int64]sim.Time
+
+	srtt, rttvar time.Duration
+	hasRTT       bool
+	rto          time.Duration
+	backoff      int
+	rtxTimer     *sim.Timer
+
+	stats   Stats
+	winHist stats.TimeWeighted
+
+	onTimeout func()
+}
+
+func newBase(sched *sim.Scheduler, cfg Config, flow int, src, dst pkt.NodeID, uids *pkt.UIDSource, out Output) *base {
+	if out == nil {
+		panic("tcp: nil output")
+	}
+	cfg = cfg.withDefaults()
+	b := &base{
+		sched:   sched,
+		cfg:     cfg,
+		out:     out,
+		uids:    uids,
+		flow:    flow,
+		src:     src,
+		dst:     dst,
+		cwnd:    float64(cfg.Winit),
+		sentAt:  make(map[int64]sim.Time),
+		rto:     cfg.InitialRTO,
+		backoff: 1,
+	}
+	return b
+}
+
+// effectiveWindow applies the receiver limit and the optional MaxWindow cap.
+func (b *base) effectiveWindow() int {
+	w := int(b.cwnd)
+	if w < 1 {
+		w = 1
+	}
+	if w > b.cfg.Wmax {
+		w = b.cfg.Wmax
+	}
+	if b.cfg.MaxWindow > 0 && w > b.cfg.MaxWindow {
+		w = b.cfg.MaxWindow
+	}
+	return w
+}
+
+// setCwnd updates the congestion window and the time-weighted trace.
+func (b *base) setCwnd(w float64) {
+	if w < 1 {
+		w = 1
+	}
+	if w > float64(b.cfg.Wmax) {
+		w = float64(b.cfg.Wmax)
+	}
+	b.cwnd = w
+	b.winHist.Set(b.sched.Now(), math.Min(w, float64(b.effectiveWindow())))
+}
+
+// sendUpTo transmits packets while the window has room. After a timeout
+// pulled nextSeq back (go-back-N), this naturally resends the lost window.
+func (b *base) sendUpTo() {
+	if b.nextSeq < b.ackNext {
+		// The receiver has buffered past our send point (holes were filled
+		// by buffered out-of-order data): skip what is already covered.
+		b.nextSeq = b.ackNext
+	}
+	win := int64(b.effectiveWindow())
+	for b.nextSeq < b.ackNext+win {
+		b.transmit(b.nextSeq)
+		b.nextSeq++
+	}
+}
+
+// transmit puts one data packet on the network. A packet below the highest
+// sequence ever sent is a retransmission.
+func (b *base) transmit(seq int64) {
+	now := b.sched.Now()
+	isRtx := seq < b.maxSeq
+	if seq+1 > b.maxSeq {
+		b.maxSeq = seq + 1
+	}
+	p := &pkt.Packet{
+		UID:  b.uids.Next(),
+		Kind: pkt.KindTCPData,
+		Size: pkt.TCPDataSize,
+		Src:  b.src,
+		Dst:  b.dst,
+		TTL:  64,
+		TCP: &pkt.TCPHeader{
+			Flow:       b.flow,
+			Seq:        seq,
+			SentAt:     now,
+			Retransmit: isRtx,
+		},
+	}
+	b.sentAt[seq] = now
+	b.stats.DataSent++
+	if isRtx {
+		b.stats.Retransmits++
+	}
+	if !b.rtxTimer.Pending() {
+		b.rtxTimer.Reset(b.currentRTO())
+	}
+	b.out(p)
+}
+
+// currentRTO returns the backed-off retransmission timeout.
+func (b *base) currentRTO() time.Duration {
+	d := b.rto * time.Duration(b.backoff)
+	if d > b.cfg.MaxRTO {
+		d = b.cfg.MaxRTO
+	}
+	return d
+}
+
+// growBackoff doubles the RTO backoff multiplier, capped at 64 (as in BSD
+// TCP) so long outages cannot overflow the timer arithmetic.
+func (b *base) growBackoff() {
+	if b.backoff < 64 {
+		b.backoff *= 2
+	}
+}
+
+// sampleRTT folds a measurement into srtt/rttvar (RFC 6298) and clears the
+// timer backoff.
+func (b *base) sampleRTT(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if !b.hasRTT {
+		b.srtt = rtt
+		b.rttvar = rtt / 2
+		b.hasRTT = true
+	} else {
+		diff := b.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		b.rttvar = (3*b.rttvar + diff) / 4
+		b.srtt = (7*b.srtt + rtt) / 8
+	}
+	b.rto = b.srtt + 4*b.rttvar
+	if b.rto < b.cfg.MinRTO {
+		b.rto = b.cfg.MinRTO
+	}
+	if b.rto > b.cfg.MaxRTO {
+		b.rto = b.cfg.MaxRTO
+	}
+	b.backoff = 1
+}
+
+// ackAdvance processes the cumulative part of an ACK: trims bookkeeping and
+// restarts the retransmission timer. It returns how many new packets the
+// ACK covers.
+func (b *base) ackAdvance(ack int64) int64 {
+	if ack <= b.ackNext {
+		return 0
+	}
+	n := ack - b.ackNext
+	for s := b.ackNext; s < ack; s++ {
+		delete(b.sentAt, s)
+	}
+	b.ackNext = ack
+	if b.ackNext < b.nextSeq {
+		b.rtxTimer.Reset(b.currentRTO())
+	} else {
+		b.rtxTimer.Stop()
+	}
+	return n
+}
+
+// fineRTO is the fine-grained timeout Vegas checks against (srtt+4*rttvar
+// without the coarse floor).
+func (b *base) fineRTO() time.Duration {
+	if !b.hasRTT {
+		return b.cfg.InitialRTO
+	}
+	return b.srtt + 4*b.rttvar
+}
+
+// Window returns the current congestion window (packets).
+func (b *base) Window() float64 { return b.cwnd }
+
+// WindowTrace exposes the time-weighted window history.
+func (b *base) WindowTrace() *stats.TimeWeighted { return &b.winHist }
+
+// Stats snapshots the counters.
+func (b *base) Stats() Stats { return b.stats }

@@ -1,0 +1,217 @@
+package tcp
+
+import (
+	"time"
+
+	"manetsim/internal/pkt"
+	"manetsim/internal/sim"
+)
+
+// VegasSender implements TCP Vegas (Brakmo & Peterson) with the behaviour
+// the paper relies on:
+//
+//   - proactive window control: once per RTT, diff = W·(RTT−baseRTT)/RTT
+//     (the paper's (W/baseRTT − W/RTT)·baseRTT) is compared against the
+//     thresholds α and β; the window moves by at most ±1 packet per RTT;
+//   - a conservative slow start that doubles the window only every other
+//     RTT and exits once diff exceeds γ;
+//   - fine-grained loss recovery: the first duplicate ACK triggers a
+//     retransmission if the segment's fine-grained timer (srtt+4·rttvar)
+//     has expired, and the first two non-duplicate ACKs after a
+//     retransmission re-check the next unacked segment — so Vegas rarely
+//     needs three duplicate ACKs or a coarse timeout;
+//   - window reduction by one quarter on a fast retransmission, at most
+//     once per RTT, and a reset to Winit on a coarse timeout (Table 1).
+type VegasSender struct {
+	*base
+	baseRTT time.Duration
+	lastRTT time.Duration // most recent valid sample (paper's "most recent RTT")
+
+	epochStart   sim.Time
+	slowStart    bool
+	ssGrowEpoch  bool  // doubling happens only in alternating epochs
+	checkAfterRx int   // non-dup ACKs that still re-check after a rtx
+	lastCutSeq   int64 // guards the 3/4 reduction to once per window
+}
+
+var _ Sender = (*VegasSender)(nil)
+
+// NewVegas constructs a Vegas sender for one flow.
+func NewVegas(sched *sim.Scheduler, cfg Config, flow int, src, dst pkt.NodeID, uids *pkt.UIDSource, out Output) *VegasSender {
+	s := &VegasSender{slowStart: true, ssGrowEpoch: true}
+	s.base = newBase(sched, cfg, flow, src, dst, uids, out)
+	s.rtxTimer = sim.NewTimer(sched, s.onRTO)
+	s.onTimeout = s.onRTO
+	return s
+}
+
+// Start begins the transfer.
+func (s *VegasSender) Start() {
+	s.setCwnd(float64(s.cfg.Winit))
+	s.epochStart = s.sched.Now()
+	s.sendUpTo()
+}
+
+// HandleAck processes a cumulative acknowledgment.
+func (s *VegasSender) HandleAck(p *pkt.Packet) {
+	if p.TCP == nil {
+		return
+	}
+	s.stats.AcksSeen++
+	ack := p.TCP.Ack
+	if ack > s.ackNext {
+		s.onNewAck(p, ack)
+	} else if s.ackNext < s.nextSeq {
+		s.onDupAck()
+	}
+	s.maybeEndEpoch()
+	s.sendUpTo()
+}
+
+func (s *VegasSender) onNewAck(p *pkt.Packet, ack int64) {
+	if !p.TCP.NoEcho && !p.TCP.Retransmit {
+		// Measure against the first newly acked segment (ns-2 Vegas keeps
+		// per-segment send times): for a cumulative ACK covering a burst,
+		// the head of the burst saw the least self-queueing, which is
+		// what Brakmo's marked-segment measurement observes. ACKs
+		// triggered by retransmitted segments are excluded entirely
+		// (Karn's rule — their delay measures recovery, not the path).
+		rtt := s.sched.Now() - p.TCP.SentAt
+		if sent, ok := s.sentAt[s.ackNext]; ok {
+			rtt = s.sched.Now() - sent
+		}
+		s.sampleRTT(rtt)
+		if rtt > 0 {
+			if s.baseRTT == 0 || rtt < s.baseRTT {
+				s.baseRTT = rtt
+			}
+			s.lastRTT = rtt
+		}
+	}
+	s.ackAdvance(ack)
+	s.dupacks = 0
+
+	// Brakmo's post-retransmission check: the first two non-duplicate
+	// ACKs after a retransmission re-examine the oldest outstanding
+	// segment and retransmit it if its fine-grained timer expired,
+	// catching multiple losses in one window without dup-ACK stalls.
+	if s.checkAfterRx > 0 {
+		s.checkAfterRx--
+		if s.expired(s.ackNext) {
+			s.retransmitFirst()
+		}
+	}
+
+	// Per-ACK exponential growth while in the doubling phase of slow
+	// start; linear adjustment happens only at epoch boundaries.
+	if s.slowStart && s.ssGrowEpoch {
+		s.setCwnd(s.cwnd + 1)
+	}
+}
+
+func (s *VegasSender) onDupAck() {
+	s.stats.DupAcks++
+	s.dupacks++
+	// Vegas' fine-grained check: retransmit on the *first* duplicate if
+	// the segment has been outstanding longer than srtt+4·rttvar, without
+	// waiting for the third duplicate.
+	if s.expired(s.ackNext) || s.dupacks == 3 {
+		s.retransmitFirst()
+	}
+}
+
+// expired reports whether seq has been outstanding beyond the fine-grained
+// timeout.
+func (s *VegasSender) expired(seq int64) bool {
+	sent, ok := s.sentAt[seq]
+	if !ok {
+		return false
+	}
+	return s.sched.Now()-sent > s.fineRTO()
+}
+
+// retransmitFirst resends the oldest unacked segment and applies Vegas'
+// one-quarter window reduction (at most once per window of data).
+func (s *VegasSender) retransmitFirst() {
+	seq := s.ackNext
+	if seq >= s.nextSeq {
+		return
+	}
+	s.stats.FastRecov++
+	s.transmit(seq)
+	s.checkAfterRx = 2
+	s.dupacks = 0
+	if seq > s.lastCutSeq {
+		s.lastCutSeq = s.nextSeq
+		s.slowStart = false
+		w := s.cwnd * 3 / 4
+		if w < 2 {
+			w = 2
+		}
+		s.setCwnd(w)
+	}
+}
+
+// maybeEndEpoch runs the once-per-RTT Vegas window calculation.
+func (s *VegasSender) maybeEndEpoch() {
+	rtt := s.lastRTT
+	if rtt == 0 {
+		rtt = s.baseRTT
+	}
+	if rtt == 0 || s.sched.Now()-s.epochStart < rtt {
+		return
+	}
+	s.epochStart = s.sched.Now()
+
+	// diff = W·(RTT−baseRTT)/RTT, in packets.
+	diff := s.cwnd * float64(s.lastRTT-s.baseRTT) / float64(s.lastRTT)
+	alpha, beta, gamma := float64(s.cfg.Alpha), float64(s.cfg.Beta), float64(s.cfg.Gamma)
+
+	if s.slowStart {
+		if diff > gamma {
+			// Leave slow start: shed the overshoot (Brakmo's 1/8) and
+			// switch to linear adjustment.
+			s.slowStart = false
+			w := s.cwnd - s.cwnd/8
+			if w < 2 {
+				w = 2
+			}
+			s.setCwnd(w)
+			return
+		}
+		// Double only every other RTT: toggle the growth phase.
+		s.ssGrowEpoch = !s.ssGrowEpoch
+		return
+	}
+
+	switch {
+	case diff < alpha:
+		s.setCwnd(s.cwnd + 1)
+	case diff > beta:
+		w := s.cwnd - 1
+		if w < 2 {
+			w = 2
+		}
+		s.setCwnd(w)
+	}
+}
+
+// onRTO handles a coarse retransmission timeout: Winit window, timer
+// backoff, and a fresh slow start.
+func (s *VegasSender) onRTO() {
+	if s.ackNext >= s.nextSeq {
+		return
+	}
+	s.stats.Timeouts++
+	s.growBackoff()
+	s.slowStart = true
+	s.ssGrowEpoch = true
+	s.dupacks = 0
+	s.checkAfterRx = 0
+	s.setCwnd(float64(s.cfg.Winit))
+	s.epochStart = s.sched.Now()
+	s.rtxTimer.Reset(s.currentRTO())
+	// Go back N, as in BSD/ns-2 TCP (snd_nxt pulled back).
+	s.nextSeq = s.ackNext
+	s.sendUpTo()
+}

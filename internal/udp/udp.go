@@ -1,0 +1,120 @@
+// Package udp implements the paper's optimally paced UDP reference
+// transport: a constant-bit-rate source emitting 1460-byte packets at a
+// fixed inter-packet gap, and a counting sink. The source neither
+// retransmits nor adapts; sweeping the gap and taking the goodput maximum
+// (Figure 10) gives the optimum any transport protocol could reach over
+// the same channel.
+package udp
+
+import (
+	"time"
+
+	"manetsim/internal/pkt"
+	"manetsim/internal/sim"
+	"manetsim/internal/stats"
+)
+
+// Sender is the paced (CBR) UDP source.
+type Sender struct {
+	sched *sim.Scheduler
+	out   func(p *pkt.Packet)
+	uids  *pkt.UIDSource
+
+	flow     int
+	src, dst pkt.NodeID
+	gap      time.Duration
+	timer    *sim.Timer
+
+	nextSeq int64
+	Sent    int64
+}
+
+// NewSender creates a paced source emitting one packet every gap.
+func NewSender(sched *sim.Scheduler, flow int, src, dst pkt.NodeID, gap time.Duration, uids *pkt.UIDSource, out func(p *pkt.Packet)) *Sender {
+	if gap <= 0 {
+		panic("udp: non-positive pacing gap")
+	}
+	if out == nil {
+		panic("udp: nil output")
+	}
+	s := &Sender{sched: sched, out: out, uids: uids, flow: flow, src: src, dst: dst, gap: gap}
+	s.timer = sim.NewTimer(sched, s.tick)
+	return s
+}
+
+// Start begins paced transmission.
+func (s *Sender) Start() { s.tick() }
+
+// Stop halts the source.
+func (s *Sender) Stop() { s.timer.Stop() }
+
+// SetGap changes the pacing interval from the next packet on.
+func (s *Sender) SetGap(gap time.Duration) {
+	if gap <= 0 {
+		panic("udp: non-positive pacing gap")
+	}
+	s.gap = gap
+}
+
+func (s *Sender) tick() {
+	p := &pkt.Packet{
+		UID:  s.uids.Next(),
+		Kind: pkt.KindUDPData,
+		Size: pkt.UDPDataSize,
+		Src:  s.src,
+		Dst:  s.dst,
+		TTL:  64,
+		UDP:  &pkt.UDPHeader{Flow: s.flow, Seq: s.nextSeq, SentAt: s.sched.Now()},
+	}
+	s.nextSeq++
+	s.Sent++
+	s.out(p)
+	s.timer.Reset(s.gap)
+}
+
+// Sink counts received packets; duplicates (same sequence seen twice,
+// possible only through MAC anomalies) are excluded from goodput.
+type Sink struct {
+	Received int64 // distinct packets received
+	Dups     int64
+	highest  int64
+	seen     map[int64]bool
+
+	// Delay, when set together with Now, records one-way packet latency.
+	Delay *stats.DurationHistogram
+	Now   func() time.Duration
+}
+
+// NewSink creates a counting sink.
+func NewSink() *Sink {
+	return &Sink{highest: -1, seen: make(map[int64]bool)}
+}
+
+// HandleData processes one arriving packet.
+func (s *Sink) HandleData(p *pkt.Packet) {
+	if p.UDP == nil {
+		return
+	}
+	seq := p.UDP.Seq
+	if s.seen[seq] {
+		s.Dups++
+		return
+	}
+	s.seen[seq] = true
+	if seq > s.highest {
+		s.highest = seq
+	}
+	s.Received++
+	if s.Delay != nil && s.Now != nil {
+		s.Delay.Add(s.Now() - p.UDP.SentAt)
+	}
+	// Trim the dedup set: anything far below the highest sequence can no
+	// longer arrive (bounded reordering), so drop it to bound memory.
+	if len(s.seen) > 4096 {
+		for k := range s.seen {
+			if k < s.highest-2048 {
+				delete(s.seen, k)
+			}
+		}
+	}
+}

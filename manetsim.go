@@ -1,0 +1,127 @@
+// Package manetsim simulates TCP over static multihop IEEE 802.11 wireless
+// networks. It reproduces the evaluation of ElRakabawy, Lindemann & Vernon,
+// "Improving TCP Performance for Multihop Wireless Networks" (DSN 2005):
+// TCP Vegas versus TCP NewReno, with and without dynamic ACK thinning,
+// against an optimally paced UDP reference, over chain, grid and random
+// topologies routed by AODV at 2, 5.5 and 11 Mbit/s.
+//
+// The simulator is a from-scratch discrete-event implementation of the full
+// stack the paper depends on: an IEEE 802.11 DCF MAC with RTS/CTS, NAV,
+// EIFS and binary exponential backoff; a threshold wireless channel with
+// two-ray-ground capture; AODV with the link-failure behaviour that causes
+// the paper's "false route failures"; packet-granularity TCP NewReno and
+// Vegas; and receiver-side ACK thinning.
+//
+// # Quick start
+//
+//	res, err := manetsim.Run(manetsim.Config{
+//	    Topology:  manetsim.Chain(7),
+//	    Bandwidth: manetsim.Rate2Mbps,
+//	    Transport: manetsim.TransportSpec{Protocol: manetsim.Vegas},
+//	    Seed:      1,
+//	})
+//	if err != nil { ... }
+//	fmt.Printf("goodput: %.0f kbit/s\n", res.AggGoodput.Mean/1e3)
+//
+// Runs are deterministic per seed. The default measurement methodology
+// matches the paper: run until 110000 packets are delivered, split into
+// batches of 10000, discard the first, and report batch means with 95%
+// confidence intervals. Reduced-scale runs (for CI or interactive use) set
+// TotalPackets/BatchPackets accordingly.
+package manetsim
+
+import (
+	"time"
+
+	"manetsim/internal/core"
+	"manetsim/internal/phy"
+	"manetsim/internal/pkt"
+	"manetsim/internal/stats"
+)
+
+// NodeID identifies a node in a scenario.
+type NodeID = pkt.NodeID
+
+// Channel bit rates of IEEE 802.11b as evaluated in the paper.
+const (
+	Rate2Mbps   = phy.Rate2Mbps
+	Rate5_5Mbps = phy.Rate5_5Mbps
+	Rate11Mbps  = phy.Rate11Mbps
+)
+
+// Rate is a channel bit rate in bit/s.
+type Rate = phy.Rate
+
+// Transport protocols: the paper's three plus the classic Reno and Tahoe
+// baselines discussed in its related work.
+const (
+	Vegas    = core.ProtoVegas
+	NewReno  = core.ProtoNewReno
+	PacedUDP = core.ProtoPacedUDP
+	Reno     = core.ProtoReno
+	Tahoe    = core.ProtoTahoe
+)
+
+// Protocol selects the transport variant.
+type Protocol = core.Protocol
+
+// TransportSpec configures the transport layer of all flows in a run.
+type TransportSpec = core.TransportSpec
+
+// Topology describes node placement and the default flow set.
+type Topology = core.Topology
+
+// Chain returns an h-hop chain of 200 m spaced nodes with a single flow
+// from end to end.
+func Chain(hops int) Topology { return core.Chain(hops) }
+
+// Grid returns the paper's 21-node grid with six crossing FTP flows.
+func Grid() Topology { return core.Grid() }
+
+// Random returns the paper's 120-node random topology (2500x1000 m²) with
+// ten random flows.
+func Random() Topology { return core.Random() }
+
+// FlowSpec is one transport connection between two nodes.
+type FlowSpec = core.FlowSpec
+
+// Routing substrates.
+const (
+	RoutingAODV   = core.RoutingAODV
+	RoutingStatic = core.RoutingStatic
+)
+
+// RoutingKind selects the routing substrate (AODV is the paper's).
+type RoutingKind = core.RoutingKind
+
+// Config describes one simulation run; zero fields take the paper's
+// defaults (2 Mbit/s, 110000 packets in batches of 10000, AODV, α=2).
+type Config = core.Config
+
+// Result carries all measurements of a run with batch-means confidence
+// intervals.
+type Result = core.Result
+
+// Batch holds the raw per-batch measurements.
+type Batch = core.Batch
+
+// Estimate is a batch-means point estimate with a 95% confidence interval.
+type Estimate = stats.Estimate
+
+// EnergyReport summarizes radio energy consumption of a run.
+type EnergyReport = core.EnergyReport
+
+// DelaySummary reports end-to-end packet latency quantiles of a run.
+type DelaySummary = core.DelaySummary
+
+// Run executes one simulation and returns its measurements. It is safe to
+// call concurrently from multiple goroutines (each run is self-contained);
+// experiment harnesses exploit this to sweep parameters in parallel.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// FourHopPropagationDelay returns the paper's Table 2 value for a given
+// rate: the minimal link-layer delay for a TCP data packet to advance four
+// hops along a chain with zero queueing.
+func FourHopPropagationDelay(rate Rate) time.Duration {
+	return fourHopDelay(rate)
+}

@@ -1,0 +1,96 @@
+package manetsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublicAPIRun(t *testing.T) {
+	res, err := Run(Config{
+		Topology:     Chain(3),
+		Bandwidth:    Rate2Mbps,
+		Transport:    TransportSpec{Protocol: Vegas},
+		Seed:         1,
+		TotalPackets: 1100,
+		BatchPackets: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered < 1100 {
+		t.Errorf("delivered = %d, want >= 1100", res.Delivered)
+	}
+	if res.AggGoodput.Mean <= 0 {
+		t.Error("zero goodput through the public API")
+	}
+}
+
+func TestPublicAPITable2(t *testing.T) {
+	cases := []struct {
+		rate   Rate
+		wantMS int64
+	}{
+		{Rate2Mbps, 29},
+		{Rate5_5Mbps, 12},
+		{Rate11Mbps, 8},
+	}
+	for _, c := range cases {
+		got := FourHopPropagationDelay(c.rate).Round(time.Millisecond).Milliseconds()
+		if got != c.wantMS {
+			t.Errorf("FourHopPropagationDelay(%v) = %d ms, want %d", c.rate, got, c.wantMS)
+		}
+	}
+}
+
+func TestPublicAPIExchangeTime(t *testing.T) {
+	e2 := ExchangeTime(Rate2Mbps, 1500)
+	e11 := ExchangeTime(Rate11Mbps, 1500)
+	if e2 <= e11 {
+		t.Errorf("exchange time at 2M (%v) must exceed 11M (%v)", e2, e11)
+	}
+	if e2 != FourHopPropagationDelay(Rate2Mbps)/4 {
+		t.Errorf("ExchangeTime inconsistent with FourHopPropagationDelay")
+	}
+}
+
+func TestPublicAPITopologies(t *testing.T) {
+	for name, topo := range map[string]Topology{
+		"chain":  Chain(2),
+		"grid":   Grid(),
+		"random": Random(),
+	} {
+		cfg := Config{
+			Topology:     topo,
+			Transport:    TransportSpec{Protocol: NewReno},
+			Seed:         3,
+			TotalPackets: 550,
+			BatchPackets: 50,
+			MaxSimTime:   30 * time.Minute,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Delivered == 0 {
+			t.Errorf("%s: nothing delivered", name)
+		}
+	}
+}
+
+func TestPublicAPITransportName(t *testing.T) {
+	cases := []struct {
+		spec TransportSpec
+		want string
+	}{
+		{TransportSpec{Protocol: Vegas}, "Vegas"},
+		{TransportSpec{Protocol: Vegas, Alpha: 3}, "Vegas(α=3)"},
+		{TransportSpec{Protocol: NewReno, AckThinning: true}, "NewReno+Thin"},
+		{TransportSpec{Protocol: NewReno, MaxWindow: 3}, "NewReno(MaxWin=3)"},
+		{TransportSpec{Protocol: PacedUDP}, "PacedUDP"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}

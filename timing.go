@@ -1,0 +1,20 @@
+package manetsim
+
+import (
+	"time"
+
+	"manetsim/internal/mac"
+)
+
+// fourHopDelay delegates to the MAC timing model (kept in a separate file
+// so the main API file stays import-light).
+func fourHopDelay(rate Rate) time.Duration {
+	return mac.FourHopPropagationDelay(rate)
+}
+
+// ExchangeTime returns the duration of one uncontended per-hop
+// DIFS + RTS/CTS/DATA/ACK exchange for a network-layer packet of the given
+// size at the given rate — useful for sizing paced-UDP sweeps.
+func ExchangeTime(rate Rate, netBytes int) time.Duration {
+	return mac.NewTiming(rate).ExchangeTime(netBytes)
+}
