@@ -36,6 +36,15 @@ func main() {
 		static    = flag.Bool("static-routes", false, "use precomputed shortest-path routes instead of AODV")
 		nocapture = flag.Bool("no-capture", false, "disable the PHY 10 dB capture rule (ablation)")
 		quiet     = flag.Bool("q", false, "print only the summary line")
+
+		mobilityKind = flag.String("mobility", "none", "mobility model: none, waypoint")
+		vmax         = flag.Float64("vmax", 10, "random waypoint maximum speed [m/s]")
+		vmin         = flag.Float64("vmin", 1, "random waypoint minimum speed [m/s]")
+		mpause       = flag.Duration("pause", 2*time.Second, "random waypoint pause at each waypoint")
+		fieldW       = flag.Float64("field-width", 0, "mobility field width [m] (set with -field-height; both 0 = initial bounding box)")
+		fieldH       = flag.Float64("field-height", 0, "mobility field height [m] (set with -field-width; both 0 = initial bounding box)")
+		pin          = flag.Bool("pin-endpoints", true, "keep flow endpoints stationary (mobility only)")
+		maxSimTime   = flag.Duration("max-sim-time", 0, "simulated-time bound (0 = 24h default); mobile runs can starve")
 	)
 	flag.Parse()
 
@@ -82,6 +91,22 @@ func main() {
 	if *static {
 		cfg.Routing = manetsim.RoutingStatic
 	}
+	cfg.MaxSimTime = *maxSimTime
+	switch strings.ToLower(*mobilityKind) {
+	case "none":
+	case "waypoint":
+		cfg.Mobility = manetsim.MobilitySpec{
+			Kind:             manetsim.MobilityRandomWaypoint,
+			MinSpeed:         *vmin,
+			MaxSpeed:         *vmax,
+			Pause:            *mpause,
+			FieldWidth:       *fieldW,
+			FieldHeight:      *fieldH,
+			PinFlowEndpoints: *pin,
+		}
+	default:
+		fatalf("unknown mobility model %q (none, waypoint)", *mobilityKind)
+	}
 
 	start := time.Now()
 	res, err := manetsim.Run(cfg)
@@ -100,7 +125,7 @@ func main() {
 	fmt.Printf("  avg window         %.2f packets (±%.2f)\n", res.AvgWindow.Mean, res.AvgWindow.HalfCI)
 	fmt.Printf("  retransmissions    %.4f per delivered packet (±%.4f)\n", res.Rtx.Mean, res.Rtx.HalfCI)
 	fmt.Printf("  link-layer failures %.4f per attempt (±%.4f)\n", res.DropProb.Mean, res.DropProb.HalfCI)
-	fmt.Printf("  false route failures %d\n", res.FalseRouteFailures)
+	fmt.Printf("  route failures     %d false, %d true\n", res.FalseRouteFailures, res.TrueRouteFailures)
 	fmt.Printf("  energy             %.1f J total, %.2f J/MB\n", res.Energy.TotalJoules, res.Energy.JoulesPerMB)
 	if res.Delay.N > 0 {
 		fmt.Printf("  e2e delay          mean %v, p95 %v\n",

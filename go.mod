@@ -1,0 +1,3 @@
+module manetsim
+
+go 1.24

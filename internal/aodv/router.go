@@ -49,7 +49,9 @@ func (c Config) withDefaults() Config {
 
 // Counters aggregates per-node routing statistics. FalseRouteFailures is
 // the paper's Figure 9 metric: in a static network every link-layer
-// failure notification tears down a route that is actually healthy.
+// failure notification tears down a route that is actually healthy. With
+// mobility the same notification can be genuine — the next hop moved out
+// of range — counted separately as TrueRouteFailures.
 type Counters struct {
 	RREQSent           uint64
 	RREQForwarded      uint64
@@ -57,6 +59,7 @@ type Counters struct {
 	RREPForwarded      uint64
 	RERRSent           uint64
 	FalseRouteFailures uint64
+	TrueRouteFailures  uint64 // teardowns where the next hop really was unreachable
 	NoRouteDrops       uint64 // data dropped at an intermediate node without a route
 	BufferDrops        uint64 // send-buffer overflow or discovery failure
 	DiscoveryFailures  uint64
@@ -94,6 +97,11 @@ type Router struct {
 	// DropData, if set, observes every data packet the router drops
 	// (no-route, buffer overflow, discovery failure, link failure).
 	DropData func(p *pkt.Packet)
+	// LinkAlive, if set, is the omniscient link oracle used to classify MAC
+	// give-ups: it reports whether the physical link to a neighbor is
+	// currently usable. Without it (static scenarios) every link failure is
+	// false by construction, matching the paper.
+	LinkAlive func(nextHop pkt.NodeID) bool
 
 	Counters Counters
 }
@@ -270,9 +278,16 @@ func (r *Router) handleRREQ(p *pkt.Packet, req *RREQ, from pkt.NodeID) {
 	}
 
 	if req.Dst == r.id {
-		// Destination replies. RFC 3561: max(own seq, RREQ's DstSeq).
+		// Destination replies. RFC 3561 §6.6.1: sync to max(own seq, RREQ's
+		// DstSeq), then increment when the requester already knew the
+		// current value — each rediscovery round must produce a strictly
+		// fresher route, or stale equal-sequence entries left around the
+		// network (a mobility staple) keep outranking the new path.
 		if req.DstKnown && seqGreater(req.DstSeq, r.seqNo) {
 			r.seqNo = req.DstSeq
+		}
+		if req.DstKnown && req.DstSeq == r.seqNo {
+			r.seqNo++
 		}
 		r.sendRREP(req.Origin, r.id, r.seqNo, 0, from)
 		return
@@ -405,12 +420,17 @@ func (r *Router) sendRERR(dsts []pkt.NodeID, seqs []uint32) {
 }
 
 // HandleLinkFailure is the MAC's LinkFailure callback: the link layer gave
-// up on nextHop. The route is healthy — the failure is contention-induced
-// — but AODV cannot know that, so it invalidates every route through that
-// hop, drops the queued traffic, and broadcasts an RERR (the paper's false
-// route failure).
+// up on nextHop. AODV cannot distinguish a genuine route break from
+// contention on a healthy link, so either way it invalidates every route
+// through that hop, drops the queued traffic, and broadcasts an RERR. The
+// LinkAlive oracle only classifies the event for measurement: a teardown
+// with the neighbor still in range is the paper's false route failure.
 func (r *Router) HandleLinkFailure(p *pkt.Packet, nextHop pkt.NodeID) {
-	r.Counters.FalseRouteFailures++
+	if r.LinkAlive != nil && !r.LinkAlive(nextHop) {
+		r.Counters.TrueRouteFailures++
+	} else {
+		r.Counters.FalseRouteFailures++
+	}
 	dsts, seqs := r.table.InvalidateNextHop(nextHop)
 
 	// Drop the failed packet and everything queued behind it for the same

@@ -330,3 +330,72 @@ func TestStaticRouterChain(t *testing.T) {
 		t.Fatalf("delivered %d, want 1", len(delivered))
 	}
 }
+
+func TestLinkAliveOracleClassifiesFailures(t *testing.T) {
+	r := newRig(t, geo.Chain(2), 1, Config{})
+	alive := true
+	r.routers[0].LinkAlive = func(nh pkt.NodeID) bool { return alive }
+	r.sched.At(0, func() { r.routers[0].Send(r.data(0, 2)) })
+	r.sched.At(2*time.Second, func() {
+		// MAC give-up with the neighbor still in range: false failure.
+		r.routers[0].HandleLinkFailure(r.data(0, 2), 1)
+	})
+	r.sched.At(3*time.Second, func() {
+		// Neighbor gone (moved away): true failure.
+		alive = false
+		r.routers[0].HandleLinkFailure(r.data(0, 2), 1)
+	})
+	r.sched.Run()
+	c := r.routers[0].Counters
+	if c.FalseRouteFailures != 1 || c.TrueRouteFailures != 1 {
+		t.Errorf("false/true failures = %d/%d, want 1/1", c.FalseRouteFailures, c.TrueRouteFailures)
+	}
+}
+
+func TestTableUpdateReplacesExpiredEqualSeqRoute(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	tb := NewTable(sched, sim.Time(time.Second))
+	tb.Update(5, 1, 3, 10)
+	// Past the active-route timeout the entry is unusable; an equal-seq
+	// route through a different neighbor (even a longer one) must replace
+	// it, or this node becomes a permanent no-route sink for dst 5.
+	sched.At(2*time.Second, func() {
+		if tb.Lookup(5) != nil {
+			t.Fatal("expired route still resolvable")
+		}
+		if !tb.Update(5, 2, 6, 10) {
+			t.Error("equal-seq route rejected by an expired entry")
+		}
+		if rt := tb.Lookup(5); rt == nil || rt.NextHop != 2 {
+			t.Errorf("route after update = %+v, want next hop 2", rt)
+		}
+	})
+	sched.Run()
+}
+
+func TestDestinationBumpsSeqOnKnownSeqRREQ(t *testing.T) {
+	// Two rediscoveries toward the same destination must install strictly
+	// increasing destination sequence numbers at the origin (RFC 3561
+	// §6.6.1), so each round outranks stale equal-seq state elsewhere.
+	r := newRig(t, geo.Chain(2), 1, Config{})
+	r.sched.At(0, func() { r.routers[0].Send(r.data(0, 2)) })
+	var firstSeq uint32
+	r.sched.At(2*time.Second, func() {
+		e := r.routers[0].Table().Entry(2)
+		if e == nil {
+			t.Fatal("no route after first discovery")
+		}
+		firstSeq = e.SeqNo
+		// Tear the route down and rediscover.
+		r.routers[0].HandleLinkFailure(r.data(0, 2), 1)
+		r.routers[0].Send(r.data(0, 2))
+	})
+	r.sched.Run()
+	e := r.routers[0].Table().Entry(2)
+	if e == nil {
+		t.Fatal("no route after rediscovery")
+	}
+	if !seqGreater(e.SeqNo, firstSeq) {
+		t.Errorf("rediscovered seq %d not greater than first %d", e.SeqNo, firstSeq)
+	}
+}

@@ -40,12 +40,18 @@ func (t *Table) Entry(dst pkt.NodeID) *Route { return t.entries[dst] }
 
 // Update installs or refreshes the route to dst if the new information is
 // fresher (higher sequence number) or equally fresh but shorter, or if the
-// existing entry is invalid. It reports whether the entry changed.
+// existing entry is unusable — invalid or expired. Treating an expired
+// entry like an invalid one matters under mobility: a node idle past the
+// active-route timeout would otherwise hold a Valid-flagged corpse that
+// rejects equal-sequence routes through other neighbors, turning every
+// rediscovery into a no-route drop at this hop. It reports whether the
+// entry changed.
 func (t *Table) Update(dst, nextHop pkt.NodeID, hopCount int, seqNo uint32) bool {
 	cur := t.entries[dst]
+	curUsable := cur != nil && cur.Valid && cur.Expiry > t.sched.Now()
 	fresher := cur == nil ||
 		seqGreater(seqNo, cur.SeqNo) ||
-		(seqNo == cur.SeqNo && (!cur.Valid || hopCount < cur.HopCount))
+		(seqNo == cur.SeqNo && (!curUsable || hopCount < cur.HopCount))
 	if !fresher {
 		// Refresh lifetime of an equivalent route through the same hop.
 		if cur != nil && cur.Valid && cur.NextHop == nextHop && seqNo == cur.SeqNo {

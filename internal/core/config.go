@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"manetsim/internal/geo"
+	"manetsim/internal/mobility"
 	"manetsim/internal/phy"
 	"manetsim/internal/pkt"
 )
@@ -124,6 +125,98 @@ type FlowSpec struct {
 	Src, Dst pkt.NodeID
 }
 
+// MobilityKind selects the node movement model.
+type MobilityKind int
+
+// Mobility models: the paper's static scenarios and the canonical random
+// waypoint extension.
+const (
+	MobilityStationary MobilityKind = iota
+	MobilityRandomWaypoint
+)
+
+// MobilitySpec configures node movement over the run. The zero value keeps
+// the paper's static scenarios.
+type MobilitySpec struct {
+	Kind MobilityKind
+
+	// MinSpeed and MaxSpeed bound the uniformly drawn per-leg speed in m/s
+	// (random waypoint). MinSpeed defaults to 1 — the classic vmin=0
+	// formulation stalls nodes forever.
+	MinSpeed, MaxSpeed float64
+
+	// Pause is the rest time at each waypoint.
+	Pause time.Duration
+
+	// FieldWidth and FieldHeight bound the movement area, anchored at the
+	// origin. When both are zero the field is the bounding box of the
+	// initial placement.
+	FieldWidth, FieldHeight float64
+
+	// PinFlowEndpoints freezes every flow's source and destination at its
+	// initial position so mobility affects only the relays — the classic
+	// setup isolating route churn from path-length drift (random waypoint
+	// concentrates nodes toward the field center, which otherwise shortens
+	// the measured paths as speed grows).
+	PinFlowEndpoints bool
+
+	// UpdateInterval is the position-refresh epoch of the channel
+	// (default phy.DefaultUpdateInterval).
+	UpdateInterval time.Duration
+}
+
+// buildMobility materializes the movement model for the placed nodes and
+// flows. All randomness comes from rng (the scheduler's source) so mobile
+// runs stay reproducible per seed.
+func (c Config) buildMobility(pts []geo.Point, flows []FlowSpec, rng *rand.Rand) (mobility.Model, error) {
+	m := c.Mobility
+	var model mobility.Model
+	switch m.Kind {
+	case MobilityStationary:
+		return mobility.NewStationary(pts), nil
+	case MobilityRandomWaypoint:
+		field := geo.Bounds(pts)
+		switch {
+		case m.FieldWidth > 0 && m.FieldHeight > 0:
+			field = geo.Rect{Max: geo.Point{X: m.FieldWidth, Y: m.FieldHeight}}
+		case m.FieldWidth > 0 || m.FieldHeight > 0:
+			// A half-specified field would silently collapse the movement
+			// area to a line along one axis.
+			return nil, fmt.Errorf("core: set both FieldWidth and FieldHeight (or neither for the initial bounding box)")
+		}
+		minSpeed := m.MinSpeed
+		if minSpeed == 0 {
+			// Default 1 m/s, but never above MaxSpeed: a sub-1 m/s crawl
+			// with MinSpeed unset must stay expressible.
+			minSpeed = 1
+			if m.MaxSpeed > 0 && m.MaxSpeed < minSpeed {
+				minSpeed = m.MaxSpeed
+			}
+		}
+		var err error
+		model, err = mobility.NewRandomWaypoint(mobility.WaypointConfig{
+			Field:    field,
+			MinSpeed: minSpeed,
+			MaxSpeed: m.MaxSpeed,
+			Pause:    m.Pause,
+		}, pts, rng)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown mobility kind %d", m.Kind)
+	}
+	if m.PinFlowEndpoints {
+		fixed := make(map[int]geo.Point)
+		for _, f := range flows {
+			fixed[int(f.Src)] = pts[f.Src]
+			fixed[int(f.Dst)] = pts[f.Dst]
+		}
+		model = mobility.Pin(model, fixed)
+	}
+	return model, nil
+}
+
 // RoutingKind selects the routing substrate.
 type RoutingKind int
 
@@ -154,6 +247,11 @@ type Config struct {
 	WarmupBatches int
 
 	Routing RoutingKind
+
+	// Mobility selects the node movement model (default: stationary, the
+	// paper's setting). Requires AODV routing: static shortest-path routes
+	// cannot follow moving nodes.
+	Mobility MobilitySpec
 
 	// NoCapture disables the PHY's 10 dB capture rule (ablation: any
 	// overlapping signal within interference range corrupts receptions).

@@ -23,8 +23,12 @@ type Batch struct {
 	// aggregated over nodes: their ratio is the paper's Figure 14 metric.
 	MACDrops     uint64
 	MACSubmitted uint64
-	// FalseRouteFailures counts AODV teardowns caused by MAC give-ups.
+	// FalseRouteFailures counts AODV teardowns caused by MAC give-ups on
+	// links that were actually healthy (the paper's metric);
+	// TrueRouteFailures counts teardowns where the next hop really was out
+	// of range (only possible with mobility).
 	FalseRouteFailures uint64
+	TrueRouteFailures  uint64
 }
 
 // Duration returns the batch time span.
@@ -128,6 +132,7 @@ type Result struct {
 	Jain        stats.Estimate // fairness index
 
 	FalseRouteFailures uint64 // total over measured batches
+	TrueRouteFailures  uint64 // total over measured batches (mobility only)
 	Energy             EnergyReport
 	Delay              DelaySummary
 
@@ -162,6 +167,7 @@ func (r *Result) aggregate() {
 			perFlow[fi][bi] = g[fi]
 		}
 		r.FalseRouteFailures += b.FalseRouteFailures
+		r.TrueRouteFailures += b.TrueRouteFailures
 	}
 	r.AggGoodput = stats.BatchMeans(agg)
 	r.Rtx = stats.BatchMeans(rtx)

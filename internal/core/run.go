@@ -39,10 +39,11 @@ type scenario struct {
 	cur     Batch // batch being accumulated
 
 	// Cumulative counters snapshotted at the previous batch boundary.
-	lastRtx      []uint64
-	lastDrops    uint64
-	lastSubmit   uint64
-	lastFailures uint64
+	lastRtx          []uint64
+	lastDrops        uint64
+	lastSubmit       uint64
+	lastFailures     uint64
+	lastTrueFailures uint64
 }
 
 // Run executes one configured simulation and returns its measurements.
@@ -100,7 +101,14 @@ func (s *scenario) build() error {
 	s.perFlowPackets = make([]int64, len(flows))
 	s.lastRtx = make([]uint64, len(flows))
 
-	ch := phy.NewChannel(s.sched, pts)
+	model, err := s.cfg.buildMobility(pts, flows, s.sched.Rand())
+	if err != nil {
+		return err
+	}
+	if s.cfg.Routing == RoutingStatic && !model.Static() {
+		return fmt.Errorf("core: static routing cannot follow moving nodes; use AODV with mobility")
+	}
+	ch := phy.NewMobileChannel(s.sched, model, s.cfg.Mobility.UpdateInterval)
 	ch.NoCapture = s.cfg.NoCapture
 	s.nodes = make([]*node.Node, len(pts))
 	s.routers = make([]*aodv.Router, len(pts))
@@ -115,6 +123,10 @@ func (s *scenario) build() error {
 		switch s.cfg.Routing {
 		case RoutingAODV:
 			r := aodv.New(s.sched, id, n.MAC, &s.uids, aodv.Config{}, n.Deliver)
+			// Omniscient link oracle: lets the measurement layer tell
+			// genuine route breaks (hop moved away) from the paper's false
+			// route failures (contention on a healthy link).
+			r.LinkAlive = func(nh pkt.NodeID) bool { return ch.Reachable(id, nh) }
 			s.routers[i] = r
 			n.SetRouter(r)
 		case RoutingStatic:
@@ -267,14 +279,16 @@ func (s *scenario) closeBatch() {
 	b.MACSubmitted = attempts - s.lastSubmit
 	s.lastDrops, s.lastSubmit = failures, attempts
 
-	var frf uint64
+	var frf, trf uint64
 	for _, r := range s.routers {
 		if r != nil {
 			frf += r.Counters.FalseRouteFailures
+			trf += r.Counters.TrueRouteFailures
 		}
 	}
 	b.FalseRouteFailures = frf - s.lastFailures
-	s.lastFailures = frf
+	b.TrueRouteFailures = trf - s.lastTrueFailures
+	s.lastFailures, s.lastTrueFailures = frf, trf
 
 	s.batches = append(s.batches, b)
 	s.cur = s.newBatch(now)

@@ -32,7 +32,7 @@ func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 		"table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig16",
 		"fig17", "table3", "fig18", "fig19", "table4", "energy", "ablation",
-		"tcpvariants", "coexist", "latency", "optwindow",
+		"tcpvariants", "coexist", "latency", "optwindow", "mobility",
 	}
 	ids := IDs()
 	got := map[string]bool{}
@@ -165,5 +165,73 @@ func TestFig10FindsInteriorOptimum(t *testing.T) {
 	}
 	if pts[0].Y >= best {
 		t.Errorf("28ms goodput %.1f >= optimum %.1f", pts[0].Y, best)
+	}
+}
+
+func TestHarnessCacheKeyStableAcrossEqualSlices(t *testing.T) {
+	// The old fmt-based key printed the backing-array addresses of
+	// Flows/PerFlowTransport, so two equal configs never matched. The key
+	// must be derived from values.
+	mk := func() core.Config {
+		return core.Config{
+			Topology:  core.Grid(),
+			Bandwidth: phy.Rate2Mbps,
+			Transport: core.TransportSpec{Protocol: core.ProtoVegas, Alpha: 2},
+			Flows:     []core.FlowSpec{{Src: 0, Dst: 13}, {Src: 7, Dst: 20}},
+			PerFlowTransport: []core.TransportSpec{
+				{Protocol: core.ProtoVegas, Alpha: 2},
+				{Protocol: core.ProtoNewReno},
+			},
+		}
+	}
+	a, b := mk(), mk()
+	if ka, kb := cfgKey(a), cfgKey(b); ka != kb {
+		t.Fatalf("equal configs with non-nil slices keyed differently:\n%s\nvs\n%s", ka, kb)
+	}
+	// Differing slice contents must key differently.
+	c := mk()
+	c.Flows[1].Dst = 19
+	if cfgKey(a) == cfgKey(c) {
+		t.Fatal("configs with different flows share a cache key")
+	}
+
+	h := NewHarness(BenchScale)
+	ra, err := h.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := h.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != rb {
+		t.Error("equal configs carrying slices were not served from the cache")
+	}
+}
+
+func TestMobilityRunnerShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mobility sweep is slow")
+	}
+	h := NewHarness(BenchScale)
+	f, err := Mobility(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d, want 4 (Vegas/NewReno x plain/thin)", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != len(mobilitySpeeds) {
+			t.Fatalf("series %q has %d points, want %d", s.Name, len(s.Points), len(mobilitySpeeds))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Errorf("series %q at %s m/s: goodput %.1f, want > 0", s.Name, p.X, p.Y)
+			}
+		}
+	}
+	if len(f.Notes) != 4*len(mobilitySpeeds) {
+		t.Errorf("notes = %d, want one per run", len(f.Notes))
 	}
 }

@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
@@ -43,7 +44,7 @@ type Harness struct {
 	Workers int
 
 	mu    sync.Mutex
-	cache map[string]*core.Result
+	cache map[string]*cacheEntry
 	sem   chan struct{}
 	once  sync.Once
 
@@ -62,7 +63,7 @@ func (h *Harness) init() {
 			h.Workers = runtime.GOMAXPROCS(0)
 		}
 		h.sem = make(chan struct{}, h.Workers)
-		h.cache = make(map[string]*core.Result)
+		h.cache = make(map[string]*cacheEntry)
 		h.gapMemo = make(map[string]time.Duration)
 	})
 }
@@ -77,54 +78,34 @@ func (h *Harness) scaled(cfg core.Config) core.Config {
 	return cfg
 }
 
+// cfgKey derives the cache key from a config by encoding every field by
+// value. JSON encoding is deterministic (struct order, no map fields) and
+// follows slices like Flows/PerFlowTransport into their elements — unlike
+// the old fmt "%+v", which printed their backing-array addresses and so
+// never matched across runs.
 func cfgKey(cfg core.Config) string {
-	return fmt.Sprintf("%+v", cfg)
-}
-
-// Run executes one scaled config through the cache.
-func (h *Harness) Run(cfg core.Config) (*core.Result, error) {
-	h.init()
-	cfg = h.scaled(cfg)
-	key := cfgKey(cfg)
-	h.mu.Lock()
-	if res, ok := h.cache[key]; ok {
-		h.mu.Unlock()
-		return res, nil
-	}
-	h.mu.Unlock()
-
-	h.sem <- struct{}{}
-	defer func() { <-h.sem }()
-	// Re-check: another goroutine may have finished it meanwhile.
-	h.mu.Lock()
-	if res, ok := h.cache[key]; ok {
-		h.mu.Unlock()
-		return res, nil
-	}
-	h.mu.Unlock()
-
-	res, err := core.Run(cfg)
+	b, err := json.Marshal(cfg)
 	if err != nil {
-		return nil, err
+		// Config is a plain data struct; encoding cannot fail.
+		panic(fmt.Sprintf("exp: encoding config key: %v", err))
 	}
-	h.mu.Lock()
-	h.cache[key] = res
-	h.mu.Unlock()
-	return res, nil
+	return string(b)
 }
 
-// RunAll executes configs in parallel, preserving order.
-func (h *Harness) RunAll(cfgs []core.Config) ([]*core.Result, error) {
-	h.init()
-	results := make([]*core.Result, len(cfgs))
-	errs := make([]error, len(cfgs))
+// runParallel is the shared fan-out: it executes work(i) for every i in
+// [0,n) on its own goroutine and returns the results in input order,
+// failing on the first error. Bounding comes from withSlot inside the work
+// functions, so cache hits never wait for a worker slot.
+func (h *Harness) runParallel(n int, work func(i int) (*core.Result, error)) ([]*core.Result, error) {
+	results := make([]*core.Result, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for i, cfg := range cfgs {
-		i, cfg := i, cfg
+	for i := 0; i < n; i++ {
+		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = h.Run(cfg)
+			results[i], errs[i] = work(i)
 		}()
 	}
 	wg.Wait()
@@ -134,6 +115,69 @@ func (h *Harness) RunAll(cfgs []core.Config) ([]*core.Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// withSlot runs fn while holding one of the harness's worker slots.
+func (h *Harness) withSlot(fn func() (*core.Result, error)) (*core.Result, error) {
+	h.sem <- struct{}{}
+	defer func() { <-h.sem }()
+	return fn()
+}
+
+// cacheEntry is one single-flight cache slot: the first caller for a key
+// executes the run, concurrent duplicates wait for it and share the
+// outcome; done is closed once res/err are set.
+type cacheEntry struct {
+	once sync.Once
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+func (e *cacheEntry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cachedRun executes one already-scaled config through the cache. Completed
+// entries return immediately without touching the worker semaphore.
+func (h *Harness) cachedRun(cfg core.Config) (*core.Result, error) {
+	key := cfgKey(cfg)
+	h.mu.Lock()
+	e := h.cache[key]
+	if e == nil {
+		e = &cacheEntry{done: make(chan struct{})}
+		h.cache[key] = e
+	}
+	h.mu.Unlock()
+	if e.completed() {
+		return e.res, e.err
+	}
+	return h.withSlot(func() (*core.Result, error) {
+		e.once.Do(func() {
+			e.res, e.err = core.Run(cfg)
+			close(e.done)
+		})
+		return e.res, e.err
+	})
+}
+
+// Run executes one scaled config through the cache.
+func (h *Harness) Run(cfg core.Config) (*core.Result, error) {
+	h.init()
+	return h.cachedRun(h.scaled(cfg))
+}
+
+// RunAll executes configs in parallel, preserving order.
+func (h *Harness) RunAll(cfgs []core.Config) ([]*core.Result, error) {
+	h.init()
+	return h.runParallel(len(cfgs), func(i int) (*core.Result, error) {
+		return h.cachedRun(h.scaled(cfgs[i]))
+	})
 }
 
 // OptimalUDPGap finds the paced-UDP inter-packet time that maximizes
@@ -175,25 +219,13 @@ func (h *Harness) OptimalUDPGap(hops int, rate phy.Rate) (time.Duration, error) 
 		}
 		cfgs = append(cfgs, cfg)
 	}
-	// Bypass the scale rewrite in Run: execute directly in parallel.
-	results := make([]*core.Result, len(cfgs))
-	errs := make([]error, len(cfgs))
-	var wg sync.WaitGroup
-	for i, cfg := range cfgs {
-		i, cfg := i, cfg
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			h.sem <- struct{}{}
-			defer func() { <-h.sem }()
-			results[i], errs[i] = core.Run(cfg)
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return 0, err
-		}
+	// Bypass the scale rewrite and the cache: these quarter-budget probe
+	// runs are keyed by the memo, not the result cache.
+	results, err := h.runParallel(len(cfgs), func(i int) (*core.Result, error) {
+		return h.withSlot(func() (*core.Result, error) { return core.Run(cfgs[i]) })
+	})
+	if err != nil {
+		return 0, err
 	}
 	best, bestG := gaps[0], -1.0
 	for i, res := range results {
@@ -224,23 +256,23 @@ func Lookup(id string) (func(h *Harness) (*Figure, error), bool) {
 }
 
 var registry = map[string]func(h *Harness) (*Figure, error){
-	"table2":  Table2,
-	"fig2":    Fig2,
-	"fig3":    Fig3,
-	"fig4":    Fig4,
-	"fig5":    Fig5,
-	"fig6":    Fig6,
-	"fig7":    Fig7,
-	"fig8":    Fig8,
-	"fig9":    Fig9,
-	"fig10":   Fig10,
-	"fig11":   Fig11,
-	"fig12":   Fig12,
-	"fig13":   Fig13,
-	"fig14":   Fig14,
-	"fig16":   Fig16,
-	"fig17":   Fig17,
-	"table3":  Table3,
+	"table2":      Table2,
+	"fig2":        Fig2,
+	"fig3":        Fig3,
+	"fig4":        Fig4,
+	"fig5":        Fig5,
+	"fig6":        Fig6,
+	"fig7":        Fig7,
+	"fig8":        Fig8,
+	"fig9":        Fig9,
+	"fig10":       Fig10,
+	"fig11":       Fig11,
+	"fig12":       Fig12,
+	"fig13":       Fig13,
+	"fig14":       Fig14,
+	"fig16":       Fig16,
+	"fig17":       Fig17,
+	"table3":      Table3,
 	"fig18":       Fig18,
 	"fig19":       Fig19,
 	"table4":      Table4,
@@ -250,4 +282,5 @@ var registry = map[string]func(h *Harness) (*Figure, error){
 	"coexist":     Coexist,
 	"latency":     Latency,
 	"optwindow":   OptWindow,
+	"mobility":    Mobility,
 }

@@ -22,6 +22,48 @@ func (p Point) Distance(q Point) float64 {
 
 func (p Point) String() string { return fmt.Sprintf("(%.0f,%.0f)", p.X, p.Y) }
 
+// Rect is an axis-aligned rectangle on the plane, used to bound mobility
+// fields. Min and Max are opposite corners with Min.X <= Max.X and
+// Min.Y <= Max.Y.
+type Rect struct {
+	Min, Max Point
+}
+
+// Width returns the horizontal extent of the rectangle.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of the rectangle.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Contains reports whether p lies inside the rectangle (borders included).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p moved to the nearest point inside the rectangle.
+func (r Rect) Clamp(p Point) Point {
+	p.X = math.Min(math.Max(p.X, r.Min.X), r.Max.X)
+	p.Y = math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y)
+	return p
+}
+
+// Bounds returns the bounding box of the given points. A degenerate box
+// (zero width or height) is possible and valid — a chain's bounding box is
+// a line segment.
+func Bounds(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r
+}
+
 // NodeSpacing is the inter-node distance used by the paper's chain and grid
 // topologies (meters).
 const NodeSpacing = 200.0

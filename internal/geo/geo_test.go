@@ -214,3 +214,34 @@ func TestQuickDistanceMetricProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBoundsAndRect(t *testing.T) {
+	pts, _ := Grid21()
+	r := Bounds(pts)
+	if r.Min != (Point{0, 0}) || r.Max != (Point{1200, 400}) {
+		t.Errorf("grid bounds = %v..%v, want (0,0)..(1200,400)", r.Min, r.Max)
+	}
+	if r.Width() != 1200 || r.Height() != 400 {
+		t.Errorf("width/height = %v/%v, want 1200/400", r.Width(), r.Height())
+	}
+	if !r.Contains(Point{600, 200}) || r.Contains(Point{600, 401}) {
+		t.Error("Contains wrong around the grid bounds")
+	}
+	if got := r.Clamp(Point{-50, 500}); got != (Point{0, 400}) {
+		t.Errorf("Clamp(-50,500) = %v, want (0,400)", got)
+	}
+	if got := r.Clamp(Point{600, 200}); got != (Point{600, 200}) {
+		t.Errorf("Clamp of an interior point moved it to %v", got)
+	}
+}
+
+func TestBoundsDegenerate(t *testing.T) {
+	// A chain's bounding box is a horizontal segment.
+	r := Bounds(Chain(4))
+	if r.Height() != 0 || r.Width() != 4*NodeSpacing {
+		t.Errorf("chain bounds = %v..%v", r.Min, r.Max)
+	}
+	if got := (Rect{}); Bounds(nil) != got {
+		t.Errorf("Bounds(nil) = %v, want zero rect", Bounds(nil))
+	}
+}

@@ -1,0 +1,193 @@
+// Package mobility models node movement as a function of simulated time.
+// A Model answers "where is node i at time t"; the physical layer samples
+// it at position-update epochs to maintain dynamic neighbor sets, and the
+// scenario engine uses it to classify route failures as genuine (the next
+// hop moved away) or false (contention-induced, the paper's metric).
+//
+// All randomness is drawn lazily from the scheduler's seeded source, so a
+// run with moving nodes is exactly as reproducible as a static one.
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"manetsim/internal/geo"
+	"manetsim/internal/sim"
+)
+
+// Model provides node positions over simulated time.
+//
+// PositionAt must be called with non-decreasing t per node — the natural
+// access pattern of a discrete-event simulation, and what lets waypoint
+// models advance their trajectory state lazily instead of storing it.
+type Model interface {
+	// Len returns the number of nodes the model describes.
+	Len() int
+	// PositionAt returns node i's position at simulated time t.
+	PositionAt(i int, t sim.Time) geo.Point
+	// Static reports whether positions never change; static models need no
+	// position-update epochs.
+	Static() bool
+}
+
+// Pinned decorates a model, freezing selected nodes at fixed positions
+// while the rest follow the inner model. The canonical use is pinning a
+// flow's endpoints so mobility affects only the relays: random waypoint
+// concentrates nodes toward the field center, which would otherwise
+// shorten (or wander) the measured path as speed grows and confound
+// route-churn effects with path-length drift.
+type Pinned struct {
+	inner Model
+	fixed map[int]geo.Point
+}
+
+// Pin freezes the given nodes at the given positions; all other nodes
+// follow inner.
+func Pin(inner Model, fixed map[int]geo.Point) *Pinned {
+	return &Pinned{inner: inner, fixed: fixed}
+}
+
+// Len returns the number of nodes.
+func (p *Pinned) Len() int { return p.inner.Len() }
+
+// PositionAt returns the pinned position for frozen nodes and defers to the
+// inner model otherwise.
+func (p *Pinned) PositionAt(i int, t sim.Time) geo.Point {
+	if pt, ok := p.fixed[i]; ok {
+		return pt
+	}
+	return p.inner.PositionAt(i, t)
+}
+
+// Static reports whether the composite never moves: either the inner model
+// is static or every node is pinned.
+func (p *Pinned) Static() bool { return p.inner.Static() || len(p.fixed) >= p.inner.Len() }
+
+// Stationary is the trivial model: every node stays at its initial
+// placement. It reproduces the paper's static chain/grid/random scenarios.
+type Stationary struct {
+	pts []geo.Point
+}
+
+// NewStationary returns a model freezing nodes at the given positions.
+func NewStationary(pts []geo.Point) *Stationary {
+	return &Stationary{pts: pts}
+}
+
+// Len returns the number of nodes.
+func (s *Stationary) Len() int { return len(s.pts) }
+
+// PositionAt returns node i's fixed position.
+func (s *Stationary) PositionAt(i int, _ sim.Time) geo.Point { return s.pts[i] }
+
+// Static reports true: stationary nodes never move.
+func (s *Stationary) Static() bool { return true }
+
+// WaypointConfig parameterizes the random waypoint model.
+type WaypointConfig struct {
+	// Field bounds the movement area. Waypoints are drawn uniformly inside
+	// it; initial positions outside are clamped to its border. A degenerate
+	// field (zero width or height) confines movement to a line.
+	Field geo.Rect
+	// MinSpeed and MaxSpeed bound the uniformly drawn per-leg speed (m/s).
+	// MinSpeed must be positive: the classic vmin=0 formulation makes nodes
+	// stall forever (the well-known RWP speed-decay pathology).
+	MinSpeed, MaxSpeed float64
+	// Pause is how long a node rests at each waypoint before departing.
+	Pause time.Duration
+}
+
+func (c WaypointConfig) validate() error {
+	if c.MinSpeed <= 0 || c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("mobility: need 0 < MinSpeed <= MaxSpeed, got [%g, %g]", c.MinSpeed, c.MaxSpeed)
+	}
+	if c.Field.Width() < 0 || c.Field.Height() < 0 {
+		return fmt.Errorf("mobility: inverted field %v..%v", c.Field.Min, c.Field.Max)
+	}
+	if c.Pause < 0 {
+		return fmt.Errorf("mobility: negative pause %v", c.Pause)
+	}
+	return nil
+}
+
+// leg is one segment of a node's trajectory: rest at from until depart,
+// move to to at constant speed, arrive at arrive.
+type leg struct {
+	from, to       geo.Point
+	depart, arrive sim.Time
+}
+
+// RandomWaypoint implements the canonical MANET mobility model: each node
+// repeatedly picks a uniform waypoint in the field and a uniform speed in
+// [MinSpeed, MaxSpeed], travels there in a straight line, and pauses.
+// Trajectories are generated lazily, one leg at a time, from the shared
+// deterministic RNG.
+type RandomWaypoint struct {
+	cfg  WaypointConfig
+	rng  *rand.Rand
+	legs []leg
+}
+
+// NewRandomWaypoint builds the model for nodes starting at initial, drawing
+// all waypoints and speeds from rng (pass the scheduler's Rand for
+// reproducible runs). Nodes start moving at time zero.
+func NewRandomWaypoint(cfg WaypointConfig, initial []geo.Point, rng *rand.Rand) (*RandomWaypoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("mobility: random waypoint needs at least one node")
+	}
+	m := &RandomWaypoint{cfg: cfg, rng: rng, legs: make([]leg, len(initial))}
+	for i, p := range initial {
+		start := cfg.Field.Clamp(p)
+		m.legs[i] = leg{from: start, to: start} // depart=arrive=0: first leg drawn lazily
+	}
+	return m, nil
+}
+
+// Len returns the number of nodes.
+func (m *RandomWaypoint) Len() int { return len(m.legs) }
+
+// Static reports false: waypoint nodes move.
+func (m *RandomWaypoint) Static() bool { return false }
+
+// PositionAt returns node i's position at time t, advancing the node's
+// trajectory as far as needed. t must be non-decreasing per node.
+func (m *RandomWaypoint) PositionAt(i int, t sim.Time) geo.Point {
+	l := &m.legs[i]
+	for t >= l.arrive+sim.Time(m.cfg.Pause) {
+		m.nextLeg(l)
+	}
+	switch {
+	case t <= l.depart:
+		return l.from
+	case t >= l.arrive:
+		return l.to
+	default:
+		f := float64(t-l.depart) / float64(l.arrive-l.depart)
+		return geo.Point{
+			X: l.from.X + (l.to.X-l.from.X)*f,
+			Y: l.from.Y + (l.to.Y-l.from.Y)*f,
+		}
+	}
+}
+
+// nextLeg replaces a finished leg with a freshly drawn one departing after
+// the pause at the reached waypoint.
+func (m *RandomWaypoint) nextLeg(l *leg) {
+	from := l.to
+	to := geo.Point{
+		X: m.cfg.Field.Min.X + m.rng.Float64()*m.cfg.Field.Width(),
+		Y: m.cfg.Field.Min.Y + m.rng.Float64()*m.cfg.Field.Height(),
+	}
+	speed := m.cfg.MinSpeed + m.rng.Float64()*(m.cfg.MaxSpeed-m.cfg.MinSpeed)
+	depart := l.arrive + sim.Time(m.cfg.Pause)
+	travel := sim.Time(from.Distance(to) / speed * float64(time.Second))
+	if travel <= 0 {
+		travel = 1 // zero-length hop: burn one tick so the loop advances
+	}
+	*l = leg{from: from, to: to, depart: depart, arrive: depart + travel}
+}

@@ -2,6 +2,7 @@ package phy
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"manetsim/internal/geo"
@@ -32,10 +33,24 @@ type Handler interface {
 	TxDone()
 }
 
+// PositionModel provides node positions over simulated time. It is the
+// channel's view of a mobility model (mobility.Model satisfies it);
+// PositionAt is sampled with non-decreasing timestamps.
+type PositionModel interface {
+	Len() int
+	PositionAt(i int, t sim.Time) geo.Point
+	Static() bool
+}
+
 // CaptureThreshold is the power ratio (10 dB, linear 10x) above which an
 // in-progress reception survives a new overlapping signal, matching ns-2's
 // CPThresh_. Set Channel.NoCapture to disable (ablation).
 const CaptureThreshold = 10.0
+
+// DefaultUpdateInterval is the default position-update epoch period for
+// channels with moving nodes. At 100 ms even a 20 m/s node drifts at most
+// 2 m between epochs — under 1% of TxRange.
+const DefaultUpdateInterval = 100 * time.Millisecond
 
 // rxPower returns the relative received power over distance d using the
 // two-ray ground model's d^-4 law (absolute scale is irrelevant — only
@@ -47,7 +62,8 @@ func rxPower(d float64) float64 {
 	return 1 / (d * d * d * d)
 }
 
-// neighbor is a precomputed reachability entry from one radio to another.
+// neighbor is a reachability entry from one radio to another, valid for one
+// position epoch.
 type neighbor struct {
 	radio     *Radio
 	propDelay time.Duration
@@ -56,41 +72,117 @@ type neighbor struct {
 }
 
 // Channel connects the radios of one scenario. Reachability is threshold
-// based and precomputed from node positions.
+// based and queried over time: a spatial grid indexes current positions,
+// per-radio neighbor sets are derived lazily from it and cached for one
+// position epoch. Static scenarios build each cache exactly once; mobile
+// scenarios refresh positions on a scheduled epoch tick.
 type Channel struct {
 	sched  *sim.Scheduler
 	radios []*Radio
 	// NoCapture disables the 10 dB capture effect, making any overlapping
 	// signal within interference range lethal (the ablation model).
 	NoCapture bool
+
+	model    PositionModel // nil once positions are frozen (static)
+	interval time.Duration // epoch period (mobile channels only)
+	grid     *spatialGrid
+	epoch    uint64 // bumped whenever any position changes
 }
 
-// NewChannel creates a channel for nodes at the given positions and returns
-// it with one radio per node. The handler for each radio must be set with
-// Radio.SetHandler before any traffic flows.
+// NewChannel creates a channel for nodes frozen at the given positions and
+// returns it with one radio per node. The handler for each radio must be
+// set with Radio.SetHandler before any traffic flows.
 func NewChannel(sched *sim.Scheduler, positions []geo.Point) *Channel {
-	c := &Channel{sched: sched}
-	c.radios = make([]*Radio, len(positions))
-	for i := range positions {
-		c.radios[i] = &Radio{ch: c, id: pkt.NodeID(i), pos: positions[i]}
+	c := &Channel{sched: sched, grid: newSpatialGrid(CSRange)}
+	c.makeRadios(positions)
+	return c
+}
+
+// NewMobileChannel creates a channel whose node positions follow model,
+// sampled every interval (DefaultUpdateInterval when interval <= 0).
+// Between epochs positions are treated as frozen, so the approximation
+// error is bounded by maxSpeed*interval. A static model degenerates to
+// NewChannel: no epochs are ever scheduled.
+func NewMobileChannel(sched *sim.Scheduler, model PositionModel, interval time.Duration) *Channel {
+	if model == nil {
+		panic("phy: nil position model")
 	}
-	for i, r := range c.radios {
-		for j, other := range c.radios {
-			if i == j {
-				continue
-			}
-			d := positions[i].Distance(positions[j])
-			if d <= CSRange {
-				r.neighbors = append(r.neighbors, neighbor{
-					radio:     other,
-					propDelay: PropagationDelay(d),
-					decodable: d <= TxRange,
-					power:     rxPower(d),
-				})
-			}
-		}
+	if interval <= 0 {
+		interval = DefaultUpdateInterval
+	}
+	positions := make([]geo.Point, model.Len())
+	for i := range positions {
+		positions[i] = model.PositionAt(i, sched.Now())
+	}
+	c := &Channel{sched: sched, grid: newSpatialGrid(CSRange)}
+	c.makeRadios(positions)
+	if !model.Static() {
+		c.model = model
+		c.interval = interval
+		c.sched.After(interval, c.refreshPositions)
 	}
 	return c
+}
+
+func (c *Channel) makeRadios(positions []geo.Point) {
+	c.radios = make([]*Radio, len(positions))
+	for i := range positions {
+		r := &Radio{ch: c, id: pkt.NodeID(i), pos: positions[i]}
+		c.radios[i] = r
+		c.grid.insert(r)
+	}
+}
+
+// refreshPositions is the epoch tick: re-sample every radio's position from
+// the model, re-bucket movers in the grid, and invalidate neighbor caches
+// iff something moved.
+func (c *Channel) refreshPositions() {
+	now := c.sched.Now()
+	moved := false
+	for _, r := range c.radios {
+		p := c.model.PositionAt(int(r.id), now)
+		if p != r.pos {
+			old := r.pos
+			r.pos = p
+			c.grid.move(r, old)
+			moved = true
+		}
+	}
+	if moved {
+		c.epoch++
+	}
+	c.sched.After(c.interval, c.refreshPositions)
+}
+
+// neighborsOf returns r's current neighbor set, rebuilding the cached slice
+// from the spatial grid when the position epoch advanced. Entries are
+// ordered by node id so event scheduling — and therefore whole runs — stay
+// deterministic regardless of grid-map iteration order.
+func (c *Channel) neighborsOf(r *Radio) []neighbor {
+	if r.nbValid && r.nbEpoch == c.epoch {
+		return r.nbCache
+	}
+	r.nbCache = r.nbCache[:0]
+	c.grid.forNear(r.pos, CSRange, func(other *Radio) {
+		if other == r {
+			return
+		}
+		d := r.pos.Distance(other.pos)
+		if d <= CSRange {
+			r.nbCache = append(r.nbCache, neighbor{
+				radio:     other,
+				propDelay: PropagationDelay(d),
+				decodable: d <= TxRange,
+				power:     rxPower(d),
+			})
+		}
+	})
+	sort.Slice(r.nbCache, func(i, j int) bool {
+		return r.nbCache[i].radio.id < r.nbCache[j].radio.id
+	})
+	r.nbEpoch = c.epoch
+	r.nbValid = true
+	return r.nbCache
 }
 
 // Radio returns the radio of node id.
@@ -98,6 +190,20 @@ func (c *Channel) Radio(id pkt.NodeID) *Radio { return c.radios[id] }
 
 // NumRadios returns the number of radios on the channel.
 func (c *Channel) NumRadios() int { return len(c.radios) }
+
+// Distance returns the current distance between two nodes (as of the last
+// position epoch).
+func (c *Channel) Distance(a, b pkt.NodeID) float64 {
+	return c.radios[a].pos.Distance(c.radios[b].pos)
+}
+
+// Reachable reports whether b is currently within transmission range of a.
+// It is the omniscient link oracle routing layers use to classify a MAC
+// give-up as a genuine route break (the hop moved away) or a false one
+// (contention on a healthy link).
+func (c *Channel) Reachable(a, b pkt.NodeID) bool {
+	return c.Distance(a, b) <= TxRange
+}
 
 // signal is one transmission as perceived by one receiver.
 type signal struct {
@@ -112,11 +218,15 @@ type signal struct {
 // channel and tracks the signals currently on the air at its own position
 // to implement carrier sensing and the no-capture collision model.
 type Radio struct {
-	ch        *Channel
-	id        pkt.NodeID
-	pos       geo.Point
-	handler   Handler
-	neighbors []neighbor
+	ch      *Channel
+	id      pkt.NodeID
+	pos     geo.Point // current position (updated each epoch)
+	handler Handler
+
+	// Neighbor cache, valid for one position epoch.
+	nbCache []neighbor
+	nbEpoch uint64
+	nbValid bool
 
 	txUntil   sim.Time // end of own transmission (0 => not transmitting)
 	airCount  int      // signals currently arriving (any strength)
@@ -138,7 +248,7 @@ func (r *Radio) SetHandler(h Handler) { r.handler = h }
 // ID returns the node id this radio belongs to.
 func (r *Radio) ID() pkt.NodeID { return r.id }
 
-// Pos returns the radio position.
+// Pos returns the radio position as of the last position epoch.
 func (r *Radio) Pos() geo.Point { return r.pos }
 
 // Transmitting reports whether the radio is mid-transmission.
@@ -157,7 +267,8 @@ func (r *Radio) RxTime() time.Duration { return r.rxTime }
 // Transmit puts a frame on the air for the given duration. The caller (the
 // MAC) is responsible for carrier sensing; the radio transmits
 // unconditionally, exactly like hardware. TxDone fires on the handler when
-// the transmission completes.
+// the transmission completes. Reachability, propagation delay and received
+// power are snapshotted at transmission start from the current positions.
 func (r *Radio) Transmit(frame any, airtime time.Duration) {
 	now := r.ch.sched.Now()
 	if r.Transmitting() {
@@ -173,7 +284,7 @@ func (r *Radio) Transmit(frame any, airtime time.Duration) {
 	r.txUntil = now + airtime
 	r.txTime += airtime
 	r.FramesSent++
-	for _, nb := range r.neighbors {
+	for _, nb := range r.ch.neighborsOf(r) {
 		nb := nb
 		start := now + nb.propDelay
 		s := &signal{

@@ -261,3 +261,117 @@ func TestIdleQuery(t *testing.T) {
 		t.Error("radio not idle after traffic drained")
 	}
 }
+
+// scripted is a PositionModel driven by an explicit position function.
+type scripted struct {
+	n  int
+	at func(i int, t sim.Time) geo.Point
+}
+
+func (m *scripted) Len() int                               { return m.n }
+func (m *scripted) Static() bool                           { return false }
+func (m *scripted) PositionAt(i int, t sim.Time) geo.Point { return m.at(i, t) }
+
+func TestMobileChannelBreaksAndRestoresLink(t *testing.T) {
+	// Node 1 walks out of carrier-sense range at 50ms and returns at 150ms.
+	model := &scripted{n: 2, at: func(i int, at sim.Time) geo.Point {
+		if i == 0 {
+			return geo.Point{}
+		}
+		if at >= 50*time.Millisecond && at < 150*time.Millisecond {
+			return geo.Point{X: 600}
+		}
+		return geo.Point{X: 200}
+	}}
+	sched := sim.NewScheduler(1)
+	ch := NewMobileChannel(sched, model, 10*time.Millisecond)
+	recs := []*recorder{{}, {}}
+	ch.Radio(0).SetHandler(recs[0])
+	ch.Radio(1).SetHandler(recs[1])
+
+	sched.At(10*time.Millisecond, func() { ch.Radio(0).Transmit("near", time.Millisecond) })
+	sched.At(100*time.Millisecond, func() { ch.Radio(0).Transmit("gone", time.Millisecond) })
+	sched.At(200*time.Millisecond, func() { ch.Radio(0).Transmit("back", time.Millisecond) })
+	sched.RunUntil(300 * time.Millisecond)
+
+	want := []any{"near", "back"}
+	if len(recs[1].frames) != 2 || recs[1].frames[0] != want[0] || recs[1].frames[1] != want[1] {
+		t.Fatalf("node 1 frames = %v, want %v", recs[1].frames, want)
+	}
+	if !ch.Reachable(0, 1) {
+		t.Error("nodes back in range not Reachable")
+	}
+}
+
+func TestMobileChannelReachableTracksEpochs(t *testing.T) {
+	model := &scripted{n: 2, at: func(i int, at sim.Time) geo.Point {
+		if i == 0 {
+			return geo.Point{}
+		}
+		// 5 m/s straight-line drift away along X from 200m.
+		return geo.Point{X: 200 + 5*at.Seconds()}
+	}}
+	sched := sim.NewScheduler(1)
+	ch := NewMobileChannel(sched, model, 100*time.Millisecond)
+	ch.Radio(0).SetHandler(&recorder{})
+	ch.Radio(1).SetHandler(&recorder{})
+	if !ch.Reachable(0, 1) {
+		t.Fatal("not reachable at 200m")
+	}
+	sched.RunUntil(30 * time.Second) // drifted to 350m > TxRange
+	if ch.Reachable(0, 1) {
+		t.Error("still Reachable at 350m")
+	}
+	if d := ch.Distance(0, 1); d < 349 || d > 351 {
+		t.Errorf("Distance = %.1f, want ~350", d)
+	}
+}
+
+// staticModel exercises the NewMobileChannel static fast path.
+type staticModel struct{ pts []geo.Point }
+
+func (m *staticModel) Len() int                               { return len(m.pts) }
+func (m *staticModel) Static() bool                           { return true }
+func (m *staticModel) PositionAt(i int, _ sim.Time) geo.Point { return m.pts[i] }
+
+func TestMobileChannelStaticModelSchedulesNoEpochs(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	ch := NewMobileChannel(sched, &staticModel{pts: []geo.Point{{X: 0}, {X: 200}}}, 0)
+	recs := []*recorder{{}, {}}
+	ch.Radio(0).SetHandler(recs[0])
+	ch.Radio(1).SetHandler(recs[1])
+	sched.At(0, func() { ch.Radio(0).Transmit("hello", time.Millisecond) })
+	// Run (not RunUntil): the queue must drain — a static channel schedules
+	// no recurring position epochs.
+	sched.Run()
+	if len(recs[1].frames) != 1 {
+		t.Fatalf("frames = %v", recs[1].frames)
+	}
+	if sched.Now() > 2*time.Millisecond {
+		t.Errorf("scheduler ran to %v; epoch events leaked", sched.Now())
+	}
+}
+
+// TestGridNeighborsMatchBruteForce cross-checks the spatial-grid neighbor
+// query against the O(n²) definition on a random placement.
+func TestGridNeighborsMatchBruteForce(t *testing.T) {
+	rng := sim.NewScheduler(7).Rand()
+	pts := make([]geo.Point, 80)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 2500, Y: rng.Float64() * 1000}
+	}
+	sched := sim.NewScheduler(1)
+	ch := NewChannel(sched, pts)
+	for i := range pts {
+		got := map[pkt.NodeID]bool{}
+		for _, nb := range ch.neighborsOf(ch.Radio(pkt.NodeID(i))) {
+			got[nb.radio.id] = true
+		}
+		for j := range pts {
+			want := i != j && pts[i].Distance(pts[j]) <= CSRange
+			if got[pkt.NodeID(j)] != want {
+				t.Fatalf("node %d neighbor %d = %v, want %v", i, j, got[pkt.NodeID(j)], want)
+			}
+		}
+	}
+}

@@ -115,7 +115,7 @@ func TestStudentTTable(t *testing.T) {
 
 func TestTimeWeightedAverage(t *testing.T) {
 	var w TimeWeighted
-	w.Set(0, 2)                 // 2 for 10ms
+	w.Set(0, 2)                   // 2 for 10ms
 	w.Set(10*time.Millisecond, 4) // 4 for 10ms
 	got := w.AverageAt(20 * time.Millisecond)
 	if !almostEqual(got, 3, 1e-9) {

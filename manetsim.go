@@ -94,6 +94,20 @@ const (
 // RoutingKind selects the routing substrate (AODV is the paper's).
 type RoutingKind = core.RoutingKind
 
+// Mobility models: stationary nodes (the paper's setting) or random
+// waypoint movement inside a bounded field.
+const (
+	MobilityStationary     = core.MobilityStationary
+	MobilityRandomWaypoint = core.MobilityRandomWaypoint
+)
+
+// MobilityKind selects the node movement model.
+type MobilityKind = core.MobilityKind
+
+// MobilitySpec configures node movement over a run (random waypoint speed
+// range, pause time, field bounds, endpoint pinning).
+type MobilitySpec = core.MobilitySpec
+
 // Config describes one simulation run; zero fields take the paper's
 // defaults (2 Mbit/s, 110000 packets in batches of 10000, AODV, α=2).
 type Config = core.Config
