@@ -1,0 +1,141 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"manetsim/internal/perf"
+)
+
+// runBench implements the `manetsim bench` subcommand: run the perf suite
+// into a machine-readable snapshot, convert `go test -bench` output to the
+// same format, or gate a candidate snapshot against a baseline.
+func runBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		emitJSON = fs.Bool("json", false, "run the suite and write a BENCH_<date>.json snapshot")
+		parse    = fs.Bool("parse", false, "convert `go test -bench -benchmem` output on stdin to snapshot JSON")
+		out      = fs.String("out", "", "output path (default BENCH_<date>.json)")
+		warnPct  = fs.Float64("warn", 10, "compare: warn above this ns/op regression percentage")
+		failPct  = fs.Float64("fail", 25, "compare: fail above this ns/op regression percentage")
+		count    = fs.Int("count", 5, "suite repetitions per benchmark (fastest sample wins)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage:
+  manetsim bench -json [-out FILE]            run the suite, write a JSON snapshot
+  manetsim bench -parse [-out FILE] < bench.txt   convert go-test bench output to JSON
+  manetsim bench -compare BASE.json CAND.json [-warn PCT] [-fail PCT]
+  manetsim bench                              run the suite, print a table
+
+`)
+		fs.PrintDefaults()
+	}
+	// Keep `-compare a b` ergonomic: it takes positionals after the flag.
+	compareIdx := -1
+	for i, a := range args {
+		if a == "-compare" || a == "--compare" {
+			compareIdx = i
+			break
+		}
+	}
+	if compareIdx >= 0 {
+		rest := append(append([]string{}, args[:compareIdx]...), args[compareIdx+1:]...)
+		// Go's flag parser stops at the first positional, but the documented
+		// form puts thresholds after the two snapshot paths; keep re-parsing
+		// past positionals so `-compare BASE CAND -warn 5` works.
+		var positionals []string
+		for {
+			if err := fs.Parse(rest); err != nil {
+				os.Exit(2)
+			}
+			rest = fs.Args()
+			for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+				positionals = append(positionals, rest[0])
+				rest = rest[1:]
+			}
+			if len(rest) == 0 {
+				break
+			}
+		}
+		if len(positionals) != 2 {
+			fmt.Fprintln(os.Stderr, "manetsim bench -compare needs exactly two snapshot files")
+			os.Exit(2)
+		}
+		compareSnapshots(positionals[0], positionals[1], *warnPct, *failPct)
+		return
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	switch {
+	case *parse:
+		snap, err := perf.ParseGoBench(os.Stdin, date)
+		if err != nil {
+			fatalBench("parse: %v", err)
+		}
+		if err := snap.WriteFile(path); err != nil {
+			fatalBench("%v", err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	case *emitJSON:
+		snap, err := perf.RunSuite(date, *count, os.Stderr)
+		if err != nil {
+			fatalBench("%v", err)
+		}
+		if err := snap.WriteFile(path); err != nil {
+			fatalBench("%v", err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	default:
+		snap, err := perf.RunSuite(date, *count, os.Stderr)
+		if err != nil {
+			fatalBench("%v", err)
+		}
+		for _, r := range snap.Benchmarks {
+			fmt.Printf("%-36s %14.0f ns/op %12.0f B/op %10.0f allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+			for unit, v := range r.Metrics {
+				fmt.Printf("  %g %s", v, unit)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func compareSnapshots(basePath, candPath string, warnPct, failPct float64) {
+	base, err := perf.LoadSnapshot(basePath)
+	if err != nil {
+		fatalBench("%v", err)
+	}
+	cand, err := perf.LoadSnapshot(candPath)
+	if err != nil {
+		fatalBench("%v", err)
+	}
+	results, failed := perf.Compare(base, cand, warnPct, failPct)
+	fmt.Printf("baseline %s (%s, %s) vs candidate %s (%s, %s)\n",
+		base.Date, base.GoVersion, base.GOARCH, cand.Date, cand.GoVersion, cand.GOARCH)
+	if !perf.SameHost(base, cand) {
+		fmt.Printf("note: different hardware (%q/%d vs %q/%d) — ns/op gate is advisory (warn-only), allocs/op still fails hard\n",
+			base.CPU, base.CPUs, cand.CPU, cand.CPUs)
+	}
+	fmt.Print(perf.FormatCompare(results, warnPct, failPct))
+	if failed {
+		fmt.Println("perf gate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("perf gate: ok")
+}
+
+func fatalBench(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "manetsim bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,5 +1,6 @@
 // Command manetsim runs a single simulation scenario and prints its
-// measurements.
+// measurements, or — with the bench subcommand — drives the performance
+// benchmark suite and its CI gate.
 //
 // Examples:
 //
@@ -7,6 +8,10 @@
 //	manetsim -topology grid -protocol newreno -thinning -bandwidth 11
 //	manetsim -topology chain -hops 7 -protocol udp -gap 36ms
 //	manetsim -topology random -protocol vegas -packets 110000 -batch 10000
+//
+//	manetsim bench -json                      # run suite, write BENCH_<date>.json
+//	go test -bench=. ./internal/perf | manetsim bench -parse -out ci.json
+//	manetsim bench -compare BENCH_old.json ci.json
 package main
 
 import (
@@ -20,6 +25,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		runBench(os.Args[2:])
+		return
+	}
 	var (
 		topology  = flag.String("topology", "chain", "topology: chain, grid, random")
 		hops      = flag.Int("hops", 7, "chain length in hops")

@@ -151,6 +151,7 @@ func (r *Router) bufferPacket(p *pkt.Packet) {
 	if len(q) >= r.cfg.BufferCap {
 		r.Counters.BufferDrops++
 		r.dropData(q[0])
+		q[0].Release()
 		q = q[1:]
 	}
 	r.buffer[p.Dst] = append(q, p)
@@ -185,15 +186,13 @@ func (r *Router) sendRREQ(dst pkt.NodeID, d *discovery) {
 	}
 	// Suppress our own flood coming back.
 	r.seen[rreqKey{origin: r.id, id: req.ID}] = r.sched.Now() + sim.Time(r.cfg.SeenLifetime)
-	p := &pkt.Packet{
-		UID:     r.uids.Next(),
-		Kind:    pkt.KindRouting,
-		Size:    RREQSize,
-		Src:     r.id,
-		Dst:     pkt.Broadcast,
-		TTL:     r.cfg.TTL,
-		Routing: req,
-	}
+	p := r.uids.New()
+	p.Kind = pkt.KindRouting
+	p.Size = RREQSize
+	p.Src = r.id
+	p.Dst = pkt.Broadcast
+	p.TTL = r.cfg.TTL
+	p.Routing = req
 	r.Counters.RREQSent++
 	r.mac.Enqueue(p, pkt.Broadcast)
 	timeout := r.cfg.RREQTimeout << uint(d.retries)
@@ -216,6 +215,7 @@ func (r *Router) discoveryTimeout(dst pkt.NodeID) {
 	for _, p := range r.buffer[dst] {
 		r.Counters.BufferDrops++
 		r.dropData(p)
+		p.Release()
 	}
 	delete(r.buffer, dst)
 }
@@ -232,6 +232,9 @@ func (r *Router) HandlePacket(p *pkt.Packet, from pkt.NodeID) {
 		case *RERR:
 			r.handleRERR(m, from)
 		}
+		// Control payloads are consumed in place (forwarding builds fresh
+		// packets), so the delivered reference ends here.
+		p.Release()
 		return
 	}
 	if p.Dst == r.id {
@@ -245,10 +248,13 @@ func (r *Router) HandlePacket(p *pkt.Packet, from pkt.NodeID) {
 		r.mac.Enqueue(p, rt.NextHop)
 		return
 	}
-	// No route at an intermediate node: drop and tell the source.
+	// No route at an intermediate node: drop and tell the source. Copy the
+	// destination out before releasing — the packet block may recycle.
 	r.Counters.NoRouteDrops++
+	dst := p.Dst
 	r.dropData(p)
-	r.sendRERR([]pkt.NodeID{p.Dst}, []uint32{r.bumpedSeq(p.Dst)})
+	p.Release()
+	r.sendRERR([]pkt.NodeID{dst}, []uint32{r.bumpedSeq(dst)})
 }
 
 func (r *Router) bumpedSeq(dst pkt.NodeID) uint32 {
@@ -307,15 +313,13 @@ func (r *Router) handleRREQ(p *pkt.Packet, req *RREQ, from pkt.NodeID) {
 		Dst: req.Dst, DstSeq: req.DstSeq, DstKnown: req.DstKnown,
 		HopCount: req.HopCount + 1,
 	}
-	np := &pkt.Packet{
-		UID:     r.uids.Next(),
-		Kind:    pkt.KindRouting,
-		Size:    RREQSize,
-		Src:     req.Origin,
-		Dst:     pkt.Broadcast,
-		TTL:     p.TTL - 1,
-		Routing: fwd,
-	}
+	np := r.uids.New()
+	np.Kind = pkt.KindRouting
+	np.Size = RREQSize
+	np.Src = req.Origin
+	np.Dst = pkt.Broadcast
+	np.TTL = p.TTL - 1
+	np.Routing = fwd
 	r.Counters.RREQForwarded++
 	jitter := sim.Time(r.sched.Rand().Int63n(int64(r.cfg.MaxJitter) + 1))
 	r.sched.After(jitter, func() { r.mac.Enqueue(np, pkt.Broadcast) })
@@ -337,15 +341,13 @@ func (r *Router) gcSeen(now sim.Time) {
 // sendRREP emits a reply toward origin through nextHop.
 func (r *Router) sendRREP(origin, dst pkt.NodeID, dstSeq uint32, hopCount int, nextHop pkt.NodeID) {
 	rep := &RREP{Origin: origin, Dst: dst, DstSeq: dstSeq, HopCount: hopCount}
-	p := &pkt.Packet{
-		UID:     r.uids.Next(),
-		Kind:    pkt.KindRouting,
-		Size:    RREPSize,
-		Src:     r.id,
-		Dst:     origin,
-		TTL:     r.cfg.TTL,
-		Routing: rep,
-	}
+	p := r.uids.New()
+	p.Kind = pkt.KindRouting
+	p.Size = RREPSize
+	p.Src = r.id
+	p.Dst = origin
+	p.TTL = r.cfg.TTL
+	p.Routing = rep
 	r.Counters.RREPSent++
 	r.mac.Enqueue(p, nextHop)
 }
@@ -372,15 +374,13 @@ func (r *Router) handleRREP(rep *RREP, from pkt.NodeID) {
 		return
 	}
 	fwd := &RREP{Origin: rep.Origin, Dst: rep.Dst, DstSeq: rep.DstSeq, HopCount: rep.HopCount + 1}
-	p := &pkt.Packet{
-		UID:     r.uids.Next(),
-		Kind:    pkt.KindRouting,
-		Size:    RREPSize,
-		Src:     r.id,
-		Dst:     rep.Origin,
-		TTL:     r.cfg.TTL,
-		Routing: fwd,
-	}
+	p := r.uids.New()
+	p.Kind = pkt.KindRouting
+	p.Size = RREPSize
+	p.Src = r.id
+	p.Dst = rep.Origin
+	p.TTL = r.cfg.TTL
+	p.Routing = fwd
 	r.Counters.RREPForwarded++
 	r.mac.Enqueue(p, rt.NextHop)
 }
@@ -406,15 +406,13 @@ func (r *Router) handleRERR(e *RERR, from pkt.NodeID) {
 
 // sendRERR broadcasts a route error for the given destinations.
 func (r *Router) sendRERR(dsts []pkt.NodeID, seqs []uint32) {
-	p := &pkt.Packet{
-		UID:     r.uids.Next(),
-		Kind:    pkt.KindRouting,
-		Size:    RERRSize + 8*len(dsts),
-		Src:     r.id,
-		Dst:     pkt.Broadcast,
-		TTL:     1,
-		Routing: &RERR{Unreachable: dsts, Seqs: seqs},
-	}
+	p := r.uids.New()
+	p.Kind = pkt.KindRouting
+	p.Size = RERRSize + 8*len(dsts)
+	p.Src = r.id
+	p.Dst = pkt.Broadcast
+	p.TTL = 1
+	p.Routing = &RERR{Unreachable: dsts, Seqs: seqs}
 	r.Counters.RERRSent++
 	r.mac.Enqueue(p, pkt.Broadcast)
 }
@@ -436,9 +434,11 @@ func (r *Router) HandleLinkFailure(p *pkt.Packet, nextHop pkt.NodeID) {
 	// Drop the failed packet and everything queued behind it for the same
 	// next hop.
 	r.dropData(p)
+	p.Release()
 	flushed := r.mac.FilterQueue(func(_ *pkt.Packet, nh pkt.NodeID) bool { return nh != nextHop })
 	for _, fp := range flushed {
 		r.dropData(fp)
+		fp.Release()
 	}
 	if len(dsts) > 0 {
 		r.sendRERR(dsts, seqs)

@@ -87,7 +87,8 @@ func (r *StaticRouter) Send(p *pkt.Packet) {
 // HandlePacket forwards or delivers (MAC Deliver callback).
 func (r *StaticRouter) HandlePacket(p *pkt.Packet, _ pkt.NodeID) {
 	if p.Kind == pkt.KindRouting {
-		return // no control traffic in static mode
+		p.Release() // no control traffic in static mode
+		return
 	}
 	if p.Dst == r.id {
 		r.deliver(p)
@@ -102,4 +103,5 @@ func (r *StaticRouter) HandleLinkFailure(p *pkt.Packet, _ pkt.NodeID) {
 	if r.DropData != nil && (p.Kind.IsData() || p.Kind == pkt.KindTCPAck) {
 		r.DropData(p)
 	}
+	p.Release()
 }

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"runtime"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"print current figure digests instead of comparing (paste into goldenFigureHashes)")
+
+// goldenFigureHashes pins the byte-exact output of the experiments that
+// exercise the widest slice of the stack (static chains for tcpvariants,
+// random-waypoint AODV repair for mobility) at BenchScale. The hashes were
+// captured before the zero-allocation kernel rewrite; any change here means
+// a run is no longer reproducing the same simulation, which is a
+// correctness regression, not a formatting nit.
+//
+// Regenerate (only after an intentional behavior change) with:
+//
+//	go test ./internal/exp -run TestGoldenFigures -v -update-golden
+var goldenFigureHashes = map[string]string{
+	"tcpvariants": "7827fcfcc0ac55c8ae7554b1ce38c663b485f906edf484efddab4f3f1cc767d0",
+	"mobility":    "abde1198f1c7fbee787875e619e5e699221ce468e690fa2ebc0b603d9f607a0f",
+}
+
+// figureDigest canonicalizes a figure through JSON (struct-ordered, no
+// maps) and hashes it.
+func figureDigest(t *testing.T, id string) string {
+	t.Helper()
+	runner, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	fig, err := runner(NewHarness(BenchScale))
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	b, err := json.Marshal(fig)
+	if err != nil {
+		t.Fatalf("%s: encode: %v", id, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenFigures asserts fixed-seed runs stay byte-identical across
+// kernel changes: same batches, same goodput, same route-failure counts,
+// for both the static and the mobile experiment.
+func TestGoldenFigures(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		// The committed hashes are amd64 floats; other architectures may
+		// legally fuse multiply-adds and shift the last mantissa bits.
+		t.Skipf("golden hashes are pinned for amd64, running on %s", runtime.GOARCH)
+	}
+	for id, want := range goldenFigureHashes {
+		id, want := id, want
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			got := figureDigest(t, id)
+			if *updateGolden {
+				t.Logf("%q: %q,", id, got)
+				return
+			}
+			if got != want {
+				t.Errorf("%s digest = %s, want %s (fixed-seed output changed)", id, got, want)
+			}
+		})
+	}
+}

@@ -6,10 +6,12 @@ package exp
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"manetsim/internal/core"
@@ -92,35 +94,75 @@ func cfgKey(cfg core.Config) string {
 	return string(b)
 }
 
+// errAborted marks work skipped because an earlier item in the same
+// fan-out already failed. It never escapes runParallel: the first real
+// error wins the error channel before the abort flag is raised.
+var errAborted = errors.New("exp: run skipped after an earlier failure")
+
 // runParallel is the shared fan-out: it executes work(i) for every i in
-// [0,n) on its own goroutine and returns the results in input order,
-// failing on the first error. Bounding comes from withSlot inside the work
-// functions, so cache hits never wait for a worker slot.
-func (h *Harness) runParallel(n int, work func(i int) (*core.Result, error)) ([]*core.Result, error) {
+// [0,n) on its own goroutine and returns the results in input order.
+// Bounding comes from withSlot inside the work functions, so cache hits
+// never wait for a worker slot.
+//
+// The first error returns immediately — the caller does not wait for the
+// remaining slots to drain. In-flight simulations cannot be preempted and
+// finish in the background (their cache entries stay valid), but queued
+// work that has not claimed a slot yet observes the abort flag and is
+// skipped.
+func (h *Harness) runParallel(n int, work func(i int, abort *atomic.Bool) (*core.Result, error)) ([]*core.Result, error) {
 	results := make([]*core.Result, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
+	var (
+		abort atomic.Bool
+		wg    sync.WaitGroup
+	)
+	errc := make(chan error, 1)
 	for i := 0; i < n; i++ {
 		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = work(i)
+			res, err := work(i, &abort)
+			if err != nil {
+				// First real error wins the buffered slot; errAborted from
+				// skipped work arrives only after it, so it is always
+				// dropped here.
+				select {
+				case errc <- err:
+				default:
+				}
+				abort.Store(true)
+				return
+			}
+			results[i] = res
 		}()
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case err := <-errc:
+		return nil, err
+	case <-done:
+		select {
+		case err := <-errc:
 			return nil, err
+		default:
 		}
+		return results, nil
 	}
-	return results, nil
 }
 
-// withSlot runs fn while holding one of the harness's worker slots.
-func (h *Harness) withSlot(fn func() (*core.Result, error)) (*core.Result, error) {
+// withSlot runs fn while holding one of the harness's worker slots. A
+// non-nil abort flag is re-checked once the slot is acquired: queued work
+// behind a failed sibling bails out without running.
+func (h *Harness) withSlot(abort *atomic.Bool, fn func() (*core.Result, error)) (*core.Result, error) {
 	h.sem <- struct{}{}
 	defer func() { <-h.sem }()
+	if abort != nil && abort.Load() {
+		return nil, errAborted
+	}
 	return fn()
 }
 
@@ -144,8 +186,10 @@ func (e *cacheEntry) completed() bool {
 }
 
 // cachedRun executes one already-scaled config through the cache. Completed
-// entries return immediately without touching the worker semaphore.
-func (h *Harness) cachedRun(cfg core.Config) (*core.Result, error) {
+// entries return immediately without touching the worker semaphore. An
+// abort observed before the entry is claimed leaves it unclaimed, so a
+// later caller can still run it — aborts never poison the cache.
+func (h *Harness) cachedRun(cfg core.Config, abort *atomic.Bool) (*core.Result, error) {
 	key := cfgKey(cfg)
 	h.mu.Lock()
 	e := h.cache[key]
@@ -157,7 +201,7 @@ func (h *Harness) cachedRun(cfg core.Config) (*core.Result, error) {
 	if e.completed() {
 		return e.res, e.err
 	}
-	return h.withSlot(func() (*core.Result, error) {
+	return h.withSlot(abort, func() (*core.Result, error) {
 		e.once.Do(func() {
 			e.res, e.err = core.Run(cfg)
 			close(e.done)
@@ -169,14 +213,15 @@ func (h *Harness) cachedRun(cfg core.Config) (*core.Result, error) {
 // Run executes one scaled config through the cache.
 func (h *Harness) Run(cfg core.Config) (*core.Result, error) {
 	h.init()
-	return h.cachedRun(h.scaled(cfg))
+	return h.cachedRun(h.scaled(cfg), nil)
 }
 
-// RunAll executes configs in parallel, preserving order.
+// RunAll executes configs in parallel, preserving order and returning the
+// first failure without draining the rest of the sweep.
 func (h *Harness) RunAll(cfgs []core.Config) ([]*core.Result, error) {
 	h.init()
-	return h.runParallel(len(cfgs), func(i int) (*core.Result, error) {
-		return h.cachedRun(h.scaled(cfgs[i]))
+	return h.runParallel(len(cfgs), func(i int, abort *atomic.Bool) (*core.Result, error) {
+		return h.cachedRun(h.scaled(cfgs[i]), abort)
 	})
 }
 
@@ -221,8 +266,8 @@ func (h *Harness) OptimalUDPGap(hops int, rate phy.Rate) (time.Duration, error) 
 	}
 	// Bypass the scale rewrite and the cache: these quarter-budget probe
 	// runs are keyed by the memo, not the result cache.
-	results, err := h.runParallel(len(cfgs), func(i int) (*core.Result, error) {
-		return h.withSlot(func() (*core.Result, error) { return core.Run(cfgs[i]) })
+	results, err := h.runParallel(len(cfgs), func(i int, abort *atomic.Bool) (*core.Result, error) {
+		return h.withSlot(abort, func() (*core.Result, error) { return core.Run(cfgs[i]) })
 	})
 	if err != nil {
 		return 0, err

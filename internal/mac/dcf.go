@@ -54,7 +54,10 @@ type DCF struct {
 	qcap   int
 
 	queue []txItem
-	cur   *txItem
+	// cur points at curSlot while a packet is in service (a fixed slot, so
+	// taking a packet into service never allocates).
+	cur     *txItem
+	curSlot txItem
 
 	ph           phase
 	cw           int
@@ -79,6 +82,11 @@ type DCF struct {
 	seen     map[uint64]bool
 	seenRing []uint64
 	seenIdx  int
+
+	// freeFrame recycles this node's transmitted frames once the channel
+	// releases them, so steady-state traffic builds frames without
+	// allocating.
+	freeFrame *Frame
 
 	Counters Counters
 }
@@ -110,7 +118,44 @@ func New(sched *sim.Scheduler, radio *phy.Radio, cfg Config, cb Callbacks) *DCF 
 	d.ackTimer = sim.NewTimer(sched, d.onAckTimeout)
 	d.navTimer = sim.NewTimer(sched, d.kick)
 	radio.SetHandler(d)
+	radio.OnFrameReleased = d.frameReleased
 	return d
+}
+
+// newFrame takes a frame from the transmit pool (or allocates one). The
+// caller must set every field it needs; recycled frames come back zeroed.
+func (d *DCF) newFrame() *Frame {
+	f := d.freeFrame
+	if f != nil {
+		d.freeFrame = f.next
+		f.next = nil
+		return f
+	}
+	return &Frame{}
+}
+
+// frameReleased is the radio's frame-release hook: the channel holds no
+// more references to the frame, so it can carry the next transmission.
+func (d *DCF) frameReleased(frame any) {
+	f, ok := frame.(*Frame)
+	if !ok {
+		return
+	}
+	d.recycleFrame(f)
+}
+
+func (d *DCF) recycleFrame(f *Frame) {
+	if f.Payload != nil {
+		// The air reference taken when the frame was built.
+		f.Payload.Release()
+	}
+	f.Type = 0
+	f.From, f.To = 0, 0
+	f.Duration = 0
+	f.Payload = nil
+	f.respMAC, f.respAir, f.respCounter = nil, 0, nil
+	f.next = d.freeFrame
+	d.freeFrame = f
 }
 
 // ID returns the node id of this MAC's radio.
@@ -131,6 +176,7 @@ func (d *DCF) Enqueue(p *pkt.Packet, nextHop pkt.NodeID) bool {
 	}
 	if len(d.queue) >= d.qcap {
 		d.Counters.QueueDrops++
+		p.Release() // ownership came with the call; a full queue consumes it
 		return false
 	}
 	d.queue = append(d.queue, txItem{p: p, nextHop: nextHop})
@@ -176,11 +222,11 @@ func (d *DCF) kick() {
 		if len(d.queue) == 0 {
 			return
 		}
-		item := d.queue[0]
+		d.curSlot = d.queue[0]
 		copy(d.queue, d.queue[1:])
 		d.queue[len(d.queue)-1] = txItem{}
 		d.queue = d.queue[:len(d.queue)-1]
-		d.cur = &item
+		d.cur = &d.curSlot
 		d.ph = phaseContend
 		d.ssrc, d.slrc = 0, 0
 		d.backoffSlots = d.drawBackoff()
@@ -246,15 +292,23 @@ func (d *DCF) onDeferDone() {
 	if d.cur.nextHop == pkt.Broadcast {
 		d.ph = phaseTxBcast
 		d.Counters.BcastSent++
-		f := &Frame{Type: FrameData, From: d.ID(), To: pkt.Broadcast, Payload: d.cur.p}
+		f := d.newFrame()
+		f.Type = FrameData
+		f.From = d.ID()
+		f.To = pkt.Broadcast
+		f.Payload = d.cur.p
+		f.Payload.Retain() // air reference, dropped when the frame recycles
 		d.radio.Transmit(f, d.timing.DataAir(d.cur.p.Size))
 		return
 	}
 	d.ph = phaseTxRTS
 	d.Counters.RTSSent++
 	dataAir := d.timing.DataAir(d.cur.p.Size)
-	dur := 3*SIFS + d.timing.CTSAir + dataAir + d.timing.AckAir
-	f := &Frame{Type: FrameRTS, From: d.ID(), To: d.cur.nextHop, Duration: dur}
+	f := d.newFrame()
+	f.Type = FrameRTS
+	f.From = d.ID()
+	f.To = d.cur.nextHop
+	f.Duration = 3*SIFS + d.timing.CTSAir + dataAir + d.timing.AckAir
 	d.radio.Transmit(f, d.timing.RTSAir)
 }
 
@@ -280,9 +334,14 @@ func (d *DCF) TxDone() {
 }
 
 // finishCur completes service of the current packet (success or broadcast)
-// and moves on.
+// and moves on, dropping the MAC's ownership reference (receivers that got
+// the frame hold their own).
 func (d *DCF) finishCur() {
+	if d.cur != nil {
+		d.cur.p.Release()
+	}
 	d.cur = nil
+	d.curSlot = txItem{}
 	d.ph = phaseIdle
 	d.cw = CWMin
 	d.ssrc, d.slrc = 0, 0
@@ -291,13 +350,16 @@ func (d *DCF) finishCur() {
 
 // dropCur gives up on the current packet after retry exhaustion.
 func (d *DCF) dropCur() {
-	item := d.cur
+	// Copy out of the service slot first: the LinkFailure callback may
+	// re-enter Enqueue/kick, which reuses the slot.
+	p, nextHop := d.cur.p, d.cur.nextHop
 	d.cur = nil
+	d.curSlot = txItem{}
 	d.ph = phaseIdle
 	d.cw = CWMin
 	d.ssrc, d.slrc = 0, 0
 	d.Counters.RetryDrops++
-	d.cb.LinkFailure(item.p, item.nextHop)
+	d.cb.LinkFailure(p, nextHop)
 	d.kick()
 }
 
@@ -391,12 +453,11 @@ func (d *DCF) onRTS(f *Frame, from pkt.NodeID) {
 	if d.sched.Now() < d.navUntil || d.respPending {
 		return
 	}
-	cts := &Frame{
-		Type:     FrameCTS,
-		From:     d.ID(),
-		To:       from,
-		Duration: f.Duration - SIFS - d.timing.CTSAir,
-	}
+	cts := d.newFrame()
+	cts.Type = FrameCTS
+	cts.From = d.ID()
+	cts.To = from
+	cts.Duration = f.Duration - SIFS - d.timing.CTSAir
 	d.scheduleResponse(cts, d.timing.CTSAir, &d.Counters.CTSSent)
 }
 
@@ -408,8 +469,12 @@ func (d *DCF) onCTS(f *Frame, from pkt.NodeID) {
 	d.ctsTimer.Stop()
 	d.ssrc = 0
 	d.ph = phaseSIFSData
-	d.sched.After(SIFS, d.sendData)
+	d.sched.AfterFunc(SIFS, dcfSendData, d)
 }
+
+// dcfSendData is the SIFS-gap trampoline between CTS reception and the
+// data transmission (a package function so scheduling does not allocate).
+func dcfSendData(a any) { a.(*DCF).sendData() }
 
 func (d *DCF) sendData() {
 	if d.ph != phaseSIFSData || d.cur == nil {
@@ -422,13 +487,13 @@ func (d *DCF) sendData() {
 	}
 	d.ph = phaseTxData
 	d.Counters.DataSent++
-	f := &Frame{
-		Type:     FrameData,
-		From:     d.ID(),
-		To:       d.cur.nextHop,
-		Duration: SIFS + d.timing.AckAir,
-		Payload:  d.cur.p,
-	}
+	f := d.newFrame()
+	f.Type = FrameData
+	f.From = d.ID()
+	f.To = d.cur.nextHop
+	f.Duration = SIFS + d.timing.AckAir
+	f.Payload = d.cur.p
+	f.Payload.Retain() // air reference, dropped when the frame recycles
 	d.radio.Transmit(f, d.timing.DataAir(d.cur.p.Size))
 }
 
@@ -436,10 +501,14 @@ func (d *DCF) sendData() {
 // respond regardless of NAV).
 func (d *DCF) onData(f *Frame, from pkt.NodeID) {
 	if f.To == pkt.Broadcast {
+		f.Payload.Retain() // delivery hands the upper layer its own reference
 		d.cb.Deliver(f.Payload, from)
 		return
 	}
-	ack := &Frame{Type: FrameAck, From: d.ID(), To: from}
+	ack := d.newFrame()
+	ack.Type = FrameAck
+	ack.From = d.ID()
+	ack.To = from
 	d.scheduleResponse(ack, d.timing.AckAir, &d.Counters.AckSent)
 	uid := f.Payload.UID
 	if d.seen[uid] {
@@ -453,6 +522,7 @@ func (d *DCF) onData(f *Frame, from pkt.NodeID) {
 	d.seenRing[d.seenIdx] = uid
 	d.seenIdx = (d.seenIdx + 1) % len(d.seenRing)
 	d.Counters.Delivered++
+	f.Payload.Retain() // delivery hands the upper layer its own reference
 	d.cb.Deliver(f.Payload, from)
 }
 
@@ -468,17 +538,30 @@ func (d *DCF) onAck(_ *Frame, from pkt.NodeID) {
 // scheduleResponse emits a control response (CTS or ACK) exactly SIFS
 // after the eliciting frame, without carrier sensing, as the standard
 // requires. If the radio happens to be mid-transmission at fire time the
-// response is skipped.
+// response is skipped (and the pooled frame recycled right away). The
+// pending frame itself carries the response state, so scheduling does not
+// allocate a closure.
 func (d *DCF) scheduleResponse(f *Frame, airtime time.Duration, counter *uint64) {
 	d.respPending = true
-	d.sched.After(SIFS, func() {
-		d.respPending = false
-		if d.radio.Transmitting() || d.respInFlight {
-			return
-		}
-		d.pause()
-		d.respInFlight = true
-		*counter++
-		d.radio.Transmit(f, airtime)
-	})
+	f.respMAC = d
+	f.respAir = airtime
+	f.respCounter = counter
+	d.sched.AfterFunc(SIFS, respFire, f)
+}
+
+// respFire is the SIFS-delayed response trampoline.
+func respFire(a any) {
+	f := a.(*Frame)
+	d := f.respMAC
+	air, counter := f.respAir, f.respCounter
+	f.respMAC, f.respAir, f.respCounter = nil, 0, nil
+	d.respPending = false
+	if d.radio.Transmitting() || d.respInFlight {
+		d.recycleFrame(f)
+		return
+	}
+	d.pause()
+	d.respInFlight = true
+	*counter++
+	d.radio.Transmit(f, air)
 }

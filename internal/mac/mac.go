@@ -40,7 +40,9 @@ func (t FrameType) String() string {
 	return fmt.Sprintf("frame(%d)", int(t))
 }
 
-// Frame is one 802.11 MAC frame on the air.
+// Frame is one 802.11 MAC frame on the air. Frames are pooled per DCF: the
+// transmitter recycles them once the channel reports every receiver's
+// signal retired, so receivers must not retain a *Frame beyond RxFrame.
 type Frame struct {
 	Type     FrameType
 	From, To pkt.NodeID
@@ -49,6 +51,14 @@ type Frame struct {
 	Duration time.Duration
 	// Payload is present on data frames only.
 	Payload *pkt.Packet
+
+	next *Frame // transmitter's freelist link
+
+	// Pending-response state (set between scheduleResponse and respFire so
+	// the SIFS-delayed CTS/ACK needs no closure).
+	respMAC     *DCF
+	respAir     time.Duration
+	respCounter *uint64
 }
 
 // Frame sizes in bytes (IEEE 802.11: RTS 20, CTS/ACK 14, data MAC

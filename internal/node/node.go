@@ -120,8 +120,11 @@ func (n *Node) AttachUDPSink(flow int, s *udp.Sink) {
 }
 
 // Deliver is the routing layer's local-delivery callback: demultiplex to
-// the transport endpoint for the packet's flow.
+// the transport endpoint for the packet's flow. The endpoint consumes the
+// packet synchronously; Deliver drops the delivered reference afterwards so
+// pooled packets recycle (endpoints must copy, not keep, header state).
 func (n *Node) Deliver(p *pkt.Packet) {
+	defer p.Release()
 	switch p.Kind {
 	case pkt.KindTCPData:
 		if sink := n.tcpSinks[p.TCP.Flow]; sink != nil {

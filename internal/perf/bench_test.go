@@ -1,0 +1,41 @@
+package perf
+
+import "testing"
+
+// The wrappers keep the suite runnable as ordinary go-test benchmarks:
+//
+//	go test -bench=. -benchmem ./internal/perf
+//
+// The bodies live in perf.go so `manetsim bench` runs the identical code.
+
+func BenchmarkScheduleDispatch(b *testing.B)     { BenchScheduleDispatch(b) }
+func BenchmarkScheduleDispatchDeep(b *testing.B) { BenchScheduleDispatchDeep(b) }
+func BenchmarkScheduleCancel(b *testing.B)       { BenchScheduleCancel(b) }
+func BenchmarkTimerReset(b *testing.B)           { BenchTimerReset(b) }
+func BenchmarkMACContention(b *testing.B)        { BenchMACContention(b) }
+func BenchmarkChannelNeighborQuery(b *testing.B) { BenchChannelNeighborQuery(b) }
+func BenchmarkEndToEndBenchScale(b *testing.B)   { BenchEndToEndBenchScale(b) }
+
+// TestSuiteNamesMatchWrappers guards the Suite()/wrapper pairing: a case
+// added to one side but not the other would silently vanish from either
+// the CI run or the snapshot.
+func TestSuiteNamesMatchWrappers(t *testing.T) {
+	want := map[string]bool{
+		"BenchmarkScheduleDispatch":     true,
+		"BenchmarkScheduleDispatchDeep": true,
+		"BenchmarkScheduleCancel":       true,
+		"BenchmarkTimerReset":           true,
+		"BenchmarkMACContention":        true,
+		"BenchmarkChannelNeighborQuery": true,
+		"BenchmarkEndToEndBenchScale":   true,
+	}
+	got := Suite()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d cases, wrappers cover %d", len(got), len(want))
+	}
+	for _, c := range got {
+		if !want[c.Name] {
+			t.Errorf("suite case %q has no go-test wrapper", c.Name)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package perf is the simulator's performance benchmark suite: kernel
+// microbenchmarks (event schedule/dispatch/cancel, timer churn), MAC
+// contention, channel neighbor queries, and an end-to-end run at the
+// BenchScale measurement budget.
+//
+// The benchmark bodies are ordinary exported functions taking *testing.B so
+// that both `go test -bench` (via the wrappers in bench_test.go) and
+// `manetsim bench -json` (via testing.Benchmark) execute the identical
+// code. The JSON snapshot/compare machinery lives in snapshot.go.
+package perf
+
+import (
+	"testing"
+	"time"
+
+	"manetsim/internal/core"
+	"manetsim/internal/exp"
+	"manetsim/internal/geo"
+	"manetsim/internal/mac"
+	"manetsim/internal/phy"
+	"manetsim/internal/pkt"
+	"manetsim/internal/sim"
+)
+
+// Case is one named benchmark of the suite. Name matches the go-test
+// benchmark name so `-parse`d output and `-json` snapshots line up.
+type Case struct {
+	Name string
+	Fn   func(*testing.B)
+}
+
+// Suite returns the full benchmark suite in a fixed order.
+func Suite() []Case {
+	return []Case{
+		{"BenchmarkScheduleDispatch", BenchScheduleDispatch},
+		{"BenchmarkScheduleDispatchDeep", BenchScheduleDispatchDeep},
+		{"BenchmarkScheduleCancel", BenchScheduleCancel},
+		{"BenchmarkTimerReset", BenchTimerReset},
+		{"BenchmarkMACContention", BenchMACContention},
+		{"BenchmarkChannelNeighborQuery", BenchChannelNeighborQuery},
+		{"BenchmarkEndToEndBenchScale", BenchEndToEndBenchScale},
+	}
+}
+
+// BenchScheduleDispatch measures one schedule-then-dispatch cycle through
+// the kernel's pooled 4-ary heap — the single most executed operation in
+// the simulator.
+func BenchScheduleDispatch(b *testing.B) {
+	s := sim.NewScheduler(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, fn)
+		s.Step()
+	}
+}
+
+// BenchScheduleDispatchDeep is the same cycle against a 4096-event backlog,
+// exercising sift depth at realistic queue sizes.
+func BenchScheduleDispatchDeep(b *testing.B) {
+	s := sim.NewScheduler(1)
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		s.At(time.Duration(1<<40)+time.Duration(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, fn)
+		s.Step()
+	}
+}
+
+// BenchScheduleCancel measures schedule-then-cancel (timer rearm pattern).
+func BenchScheduleCancel(b *testing.B) {
+	s := sim.NewScheduler(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := s.After(time.Millisecond, fn)
+		s.Cancel(ev)
+	}
+}
+
+// BenchTimerReset measures the Timer rearm path protocol stacks hammer
+// (retransmission timers restart on every ACK).
+func BenchTimerReset(b *testing.B) {
+	s := sim.NewScheduler(1)
+	tm := sim.NewTimer(s, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(time.Millisecond)
+	}
+}
+
+// BenchMACContention runs complete RTS/CTS/DATA/ACK exchanges from two
+// contending senders to a shared receiver — the paper's hidden-terminal
+// core in miniature — including carrier sensing, backoff, and duplicate
+// suppression.
+func BenchMACContention(b *testing.B) {
+	sched := sim.NewScheduler(1)
+	// 0 and 2 both reach 1 (200 m < TxRange) and carrier-sense each other
+	// (400 m < CSRange), so every exchange contends.
+	ch := phy.NewChannel(sched, []geo.Point{{X: 0, Y: 0}, {X: 200, Y: 0}, {X: 400, Y: 0}})
+	var pool pkt.Pool
+	delivered := 0
+	cb := mac.Callbacks{
+		Deliver:     func(p *pkt.Packet, _ pkt.NodeID) { delivered++; p.Release() },
+		LinkFailure: func(p *pkt.Packet, _ pkt.NodeID) { p.Release() },
+	}
+	macs := make([]*mac.DCF, 3)
+	for i := range macs {
+		macs[i] = mac.New(sched, ch.Radio(pkt.NodeID(i)), mac.Config{DataRate: phy.Rate2Mbps}, cb)
+	}
+	newData := func(src, dst pkt.NodeID) *pkt.Packet {
+		p := pool.NewTCP()
+		p.Kind = pkt.KindTCPData
+		p.Size = pkt.TCPDataSize
+		p.Src, p.Dst = src, dst
+		p.TTL = 64
+		return p
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		macs[0].Enqueue(newData(0, 1), 1)
+		macs[2].Enqueue(newData(2, 1), 1)
+		sched.Run()
+	}
+	b.StopTimer()
+	if delivered == 0 {
+		b.Fatal("no packets delivered")
+	}
+}
+
+// jiggleModel drifts a 10-wide node grid sideways over time so every
+// position epoch moves every node and invalidates the neighbor caches.
+type jiggleModel struct {
+	n       int
+	spacing float64
+}
+
+func (j jiggleModel) Len() int     { return j.n }
+func (j jiggleModel) Static() bool { return false }
+func (j jiggleModel) PositionAt(i int, t sim.Time) geo.Point {
+	drift := 3 * float64(t/phy.DefaultUpdateInterval)
+	return geo.Point{
+		X: float64(i%10)*j.spacing + drift,
+		Y: float64(i/10) * j.spacing,
+	}
+}
+
+// BenchChannelNeighborQuery measures one position epoch of a 100-node
+// mobile channel: re-sampling every position, re-bucketing the spatial
+// grid, and rebuilding all 100 per-radio neighbor sets.
+func BenchChannelNeighborQuery(b *testing.B) {
+	sched := sim.NewScheduler(1)
+	const n = 100
+	ch := phy.NewMobileChannel(sched, jiggleModel{n: n, spacing: 150}, 0)
+	sum := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.RunUntil(time.Duration(i+1) * phy.DefaultUpdateInterval)
+		for id := 0; id < n; id++ {
+			sum += ch.NeighborCount(pkt.NodeID(id))
+		}
+	}
+	b.StopTimer()
+	if sum == 0 {
+		b.Fatal("empty neighbor sets")
+	}
+}
+
+// BenchEndToEndBenchScale is the headline end-to-end figure: one complete
+// 8-hop Vegas chain run at the BenchScale measurement budget (the same
+// 11-batch structure the figures use). ns/op is the cost of regenerating
+// one run; packets/s is raw simulator throughput.
+func BenchEndToEndBenchScale(b *testing.B) {
+	scale := exp.BenchScale
+	var res *core.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.Run(core.Config{
+			Topology:     core.Chain(8),
+			Bandwidth:    phy.Rate2Mbps,
+			Transport:    core.TransportSpec{Protocol: core.ProtoVegas},
+			Seed:         scale.Seed,
+			TotalPackets: scale.TotalPackets,
+			BatchPackets: scale.BatchPackets,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if res != nil {
+		b.ReportMetric(float64(res.Delivered)*float64(b.N)/b.Elapsed().Seconds(), "packets/s")
+		b.ReportMetric(res.AggGoodput.Mean/1e3, "kbit/s")
+	}
+}

@@ -1,0 +1,331 @@
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Result is the measurement of one benchmark.
+type Result struct {
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"` // iterations behind the measurement
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric units
+}
+
+// Snapshot is one machine-readable BENCH_<date>.json file.
+type Snapshot struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	CPU        string   `json:"cpu,omitempty"` // CPU model, for gate comparability
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// hostCPU best-effort identifies the CPU model (Linux /proc/cpuinfo; empty
+// elsewhere). Snapshots from different CPUs are not ns/op-comparable.
+func hostCPU() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, "model name"); ok {
+			if i := strings.Index(rest, ":"); i >= 0 {
+				return strings.TrimSpace(rest[i+1:])
+			}
+		}
+	}
+	return ""
+}
+
+// SameHost reports whether two snapshots were measured on comparable
+// hardware (same CPU model and count, both known). Only then are raw ns/op
+// numbers trustworthy enough for a hard gate.
+func SameHost(a, b Snapshot) bool {
+	return a.CPU != "" && a.CPU == b.CPU && a.CPUs == b.CPUs
+}
+
+// fold merges a repeated sample into acc under the fastest-sample-wins
+// rule. It is the single folding policy shared by RunSuite repetitions and
+// ParseGoBench's -count lines, keeping -json snapshots and parsed CI runs
+// comparable.
+func fold(acc *Result, next Result) {
+	acc.Runs += next.Runs
+	if next.NsPerOp > 0 && (acc.NsPerOp == 0 || next.NsPerOp < acc.NsPerOp) {
+		acc.NsPerOp = next.NsPerOp
+	}
+	if next.BytesPerOp < acc.BytesPerOp {
+		acc.BytesPerOp = next.BytesPerOp
+	}
+	if next.AllocsPerOp < acc.AllocsPerOp {
+		acc.AllocsPerOp = next.AllocsPerOp
+	}
+}
+
+// RunSuite executes the benchmark suite via testing.Benchmark and collects
+// a snapshot. date is stamped verbatim (YYYY-MM-DD). Each case runs count
+// times (min 1), folded by fold. A case that fails (b.Fatal/b.Error inside
+// testing.Benchmark) aborts the suite with its name.
+func RunSuite(date string, count int, progress io.Writer) (Snapshot, error) {
+	if count < 1 {
+		count = 1
+	}
+	snap := Snapshot{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		CPU:       hostCPU(),
+	}
+	for _, c := range Suite() {
+		if progress != nil {
+			fmt.Fprintf(progress, "running %s (x%d)...\n", c.Name, count)
+		}
+		var res Result
+		for rep := 0; rep < count; rep++ {
+			r := testing.Benchmark(c.Fn)
+			if r.N == 0 {
+				// testing.Benchmark returns a zero result when the body
+				// fails; surface it instead of emitting NaN columns.
+				return snap, fmt.Errorf("benchmark %s failed", c.Name)
+			}
+			one := Result{
+				Name:        c.Name,
+				Runs:        r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  float64(r.AllocedBytesPerOp()),
+				AllocsPerOp: float64(r.AllocsPerOp()),
+			}
+			if len(r.Extra) > 0 {
+				one.Metrics = make(map[string]float64, len(r.Extra))
+				for k, v := range r.Extra {
+					one.Metrics[k] = v
+				}
+			}
+			if rep == 0 {
+				res = one
+				continue
+			}
+			fold(&res, one)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, res)
+	}
+	return snap, nil
+}
+
+// WriteFile writes the snapshot as indented JSON.
+func (s Snapshot) WriteFile(path string) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadSnapshot reads a snapshot file.
+func LoadSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// ParseGoBench converts `go test -bench -benchmem` text output into a
+// snapshot. Repeated lines for the same benchmark (-count=N) are folded by
+// taking the minimum ns/op (the least-interference sample) and the minimum
+// of the allocation columns.
+func ParseGoBench(r io.Reader, date string) (Snapshot, error) {
+	snap := Snapshot{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		CPU:       hostCPU(),
+	}
+	byName := map[string]*Result{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			// Prefer go test's own CPU line: it describes the machine that
+			// actually produced the numbers being parsed.
+			snap.CPU = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix (BenchmarkFoo-8).
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		runs, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		res := Result{Name: name, Runs: runs, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				res.Metrics[unit] = v
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		prev, seen := byName[name]
+		if !seen {
+			cp := res
+			byName[name] = &cp
+			order = append(order, name)
+			continue
+		}
+		fold(prev, res)
+	}
+	if err := sc.Err(); err != nil {
+		return snap, err
+	}
+	if len(order) == 0 {
+		return snap, fmt.Errorf("no benchmark lines found in input")
+	}
+	for _, name := range order {
+		snap.Benchmarks = append(snap.Benchmarks, *byName[name])
+	}
+	return snap, nil
+}
+
+// CompareResult classifies one benchmark's baseline-vs-candidate delta.
+type CompareResult struct {
+	Name      string
+	BaseNs    float64
+	CandNs    float64
+	DeltaPct  float64 // ns/op change, positive = slower
+	AllocsUp  bool    // allocs/op regressed beyond the fail threshold
+	Level     string  // "ok", "warn", "fail", "missing"
+	AllocNote string
+}
+
+// Compare checks a candidate snapshot against a baseline with a soft
+// threshold policy: ns/op regressions above warnPct warn, above failPct
+// fail; allocs/op regressions above failPct fail outright (allocation
+// counts are machine-independent, so there is no noise excuse). When the
+// two snapshots come from different hardware (SameHost is false), raw
+// ns/op is not comparable and ns/op failures demote to warnings — the
+// allocs/op rule still fails hard. It returns the per-benchmark
+// classification and whether the gate fails overall.
+func Compare(base, cand Snapshot, warnPct, failPct float64) ([]CompareResult, bool) {
+	candByName := map[string]Result{}
+	for _, r := range cand.Benchmarks {
+		candByName[r.Name] = r
+	}
+	strictNs := SameHost(base, cand)
+	var out []CompareResult
+	failed := false
+	for _, b := range base.Benchmarks {
+		c, ok := candByName[b.Name]
+		if !ok {
+			out = append(out, CompareResult{Name: b.Name, BaseNs: b.NsPerOp, Level: "missing"})
+			failed = true
+			continue
+		}
+		r := CompareResult{Name: b.Name, BaseNs: b.NsPerOp, CandNs: c.NsPerOp, Level: "ok"}
+		if b.NsPerOp > 0 {
+			r.DeltaPct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		switch {
+		case r.DeltaPct > failPct && strictNs:
+			r.Level = "fail"
+			failed = true
+		case r.DeltaPct > warnPct:
+			r.Level = "warn"
+		}
+		switch {
+		case b.AllocsPerOp == 0 && c.AllocsPerOp > 0:
+			r.AllocsUp = true
+			r.AllocNote = fmt.Sprintf("allocs/op %.0f -> %.0f", b.AllocsPerOp, c.AllocsPerOp)
+		case b.AllocsPerOp > 0 && (c.AllocsPerOp-b.AllocsPerOp)/b.AllocsPerOp*100 > failPct:
+			r.AllocsUp = true
+			r.AllocNote = fmt.Sprintf("allocs/op %.0f -> %.0f", b.AllocsPerOp, c.AllocsPerOp)
+		}
+		if r.AllocsUp {
+			r.Level = "fail"
+			failed = true
+		}
+		out = append(out, r)
+	}
+	// Surface candidate-only benchmarks so a suite addition without a
+	// baseline refresh is visible instead of silently ungated.
+	baseNames := map[string]bool{}
+	for _, b := range base.Benchmarks {
+		baseNames[b.Name] = true
+	}
+	for _, c := range cand.Benchmarks {
+		if !baseNames[c.Name] {
+			out = append(out, CompareResult{Name: c.Name, CandNs: c.NsPerOp, Level: "new"})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].DeltaPct > out[j].DeltaPct })
+	return out, failed
+}
+
+// FormatCompare renders the comparison as an aligned report.
+func FormatCompare(results []CompareResult, warnPct, failPct float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "perf gate: warn >%.0f%%, fail >%.0f%% ns/op regression (allocs/op: fail >%.0f%%)\n",
+		warnPct, failPct, failPct)
+	for _, r := range results {
+		switch r.Level {
+		case "missing":
+			fmt.Fprintf(&sb, "  FAIL %-36s missing from candidate\n", r.Name)
+			continue
+		case "new":
+			fmt.Fprintf(&sb, "  NEW  %-36s %12.0f ns/op (no baseline — refresh BENCH_*.json to gate it)\n", r.Name, r.CandNs)
+			continue
+		}
+		tag := map[string]string{"ok": "  ok", "warn": "WARN", "fail": "FAIL"}[r.Level]
+		fmt.Fprintf(&sb, "  %s %-36s %12.0f -> %12.0f ns/op (%+.1f%%)", tag, r.Name, r.BaseNs, r.CandNs, r.DeltaPct)
+		if r.AllocNote != "" {
+			fmt.Fprintf(&sb, "  [%s]", r.AllocNote)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

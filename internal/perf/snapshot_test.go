@@ -1,0 +1,126 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `
+goos: linux
+goarch: amd64
+pkg: manetsim/internal/perf
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScheduleDispatch-8   	12000000	        95.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScheduleDispatch-8   	13000000	        91.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEndToEndBenchScale-8 	      10	 100324381 ns/op	       220.7 kbit/s	     21893 packets/s	  335012 B/op	    1126 allocs/op
+PASS
+`
+
+func TestParseGoBench(t *testing.T) {
+	snap, err := ParseGoBench(strings.NewReader(sampleBenchOutput), "2026-07-29")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(snap.Benchmarks))
+	}
+	sd := snap.Benchmarks[0]
+	if sd.Name != "BenchmarkScheduleDispatch" {
+		t.Errorf("name = %q (suffix not stripped?)", sd.Name)
+	}
+	if sd.NsPerOp != 91.5 {
+		t.Errorf("folded ns/op = %v, want the 91.5 minimum", sd.NsPerOp)
+	}
+	if sd.Runs != 25000000 {
+		t.Errorf("folded runs = %d, want 25000000", sd.Runs)
+	}
+	e2e := snap.Benchmarks[1]
+	if e2e.AllocsPerOp != 1126 || e2e.BytesPerOp != 335012 {
+		t.Errorf("e2e mem columns = %v B/op, %v allocs/op", e2e.BytesPerOp, e2e.AllocsPerOp)
+	}
+	if e2e.Metrics["kbit/s"] != 220.7 || e2e.Metrics["packets/s"] != 21893 {
+		t.Errorf("custom metrics = %v", e2e.Metrics)
+	}
+	if snap.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu line not captured: %q", snap.CPU)
+	}
+}
+
+func TestParseGoBenchRejectsEmptyInput(t *testing.T) {
+	if _, err := ParseGoBench(strings.NewReader("no benchmarks here\n"), "d"); err == nil {
+		t.Error("empty input did not error")
+	}
+}
+
+func mkSnap(ns, allocs float64) Snapshot {
+	return Snapshot{
+		CPU:        "TestCPU @ 1GHz",
+		CPUs:       4,
+		Benchmarks: []Result{{Name: "BenchmarkX", NsPerOp: ns, AllocsPerOp: allocs}},
+	}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	cases := []struct {
+		name       string
+		base, cand Snapshot
+		wantLevel  string
+		wantFail   bool
+	}{
+		{"within-noise", mkSnap(100, 10), mkSnap(105, 10), "ok", false},
+		{"warn-band", mkSnap(100, 10), mkSnap(115, 10), "warn", false},
+		{"fail-band", mkSnap(100, 10), mkSnap(130, 10), "fail", true},
+		{"improvement", mkSnap(100, 10), mkSnap(50, 10), "ok", false},
+		{"alloc-regression", mkSnap(100, 10), mkSnap(100, 20), "fail", true},
+		{"alloc-from-zero", mkSnap(100, 0), mkSnap(100, 5), "fail", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			results, failed := Compare(tc.base, tc.cand, 10, 25)
+			if len(results) != 1 {
+				t.Fatalf("%d results", len(results))
+			}
+			if results[0].Level != tc.wantLevel || failed != tc.wantFail {
+				t.Errorf("level=%s failed=%v, want %s/%v", results[0].Level, failed, tc.wantLevel, tc.wantFail)
+			}
+		})
+	}
+}
+
+func TestCompareCrossHostDemotesNsFailuresToWarnings(t *testing.T) {
+	base := mkSnap(100, 10)
+	cand := mkSnap(200, 10) // +100% ns/op, would fail on the same host
+	cand.CPU = "OtherCPU @ 9GHz"
+	results, failed := Compare(base, cand, 10, 25)
+	if failed || results[0].Level != "warn" {
+		t.Errorf("cross-host ns regression: level=%s failed=%v, want warn/false", results[0].Level, failed)
+	}
+	// Allocation regressions stay hard even across hosts.
+	cand.Benchmarks[0].AllocsPerOp = 100
+	if _, failed := Compare(base, cand, 10, 25); !failed {
+		t.Error("cross-host allocs/op regression did not fail")
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := mkSnap(100, 10)
+	cand := Snapshot{Benchmarks: []Result{{Name: "BenchmarkOther", NsPerOp: 1}}}
+	results, failed := Compare(base, cand, 10, 25)
+	if !failed || len(results) != 2 {
+		t.Fatalf("results=%v failed=%v, want missing+new and failure", results, failed)
+	}
+	levels := map[string]string{}
+	for _, r := range results {
+		levels[r.Name] = r.Level
+	}
+	if levels["BenchmarkX"] != "missing" {
+		t.Errorf("dropped benchmark level = %s, want missing", levels["BenchmarkX"])
+	}
+	if levels["BenchmarkOther"] != "new" {
+		t.Errorf("candidate-only benchmark level = %s, want new (must be surfaced, not silently ungated)", levels["BenchmarkOther"])
+	}
+	out := FormatCompare(results, 10, 25)
+	if !strings.Contains(out, "missing") || !strings.Contains(out, "no baseline") {
+		t.Errorf("report lacks missing/new markers:\n%s", out)
+	}
+}

@@ -2,7 +2,7 @@ package phy
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"manetsim/internal/geo"
@@ -87,6 +87,13 @@ type Channel struct {
 	interval time.Duration // epoch period (mobile channels only)
 	grid     *spatialGrid
 	epoch    uint64 // bumped whenever any position changes
+
+	// Freelists for the per-transmission hot-path objects. A transmission
+	// to k neighbors needs one txRecord and k signals; all of them are
+	// recycled as their signal-end events retire, so steady-state traffic
+	// does not allocate.
+	freeSignal *signal
+	freeTx     *txRecord
 }
 
 // NewChannel creates a channel for nodes frozen at the given positions and
@@ -177,8 +184,8 @@ func (c *Channel) neighborsOf(r *Radio) []neighbor {
 			})
 		}
 	})
-	sort.Slice(r.nbCache, func(i, j int) bool {
-		return r.nbCache[i].radio.id < r.nbCache[j].radio.id
+	slices.SortFunc(r.nbCache, func(a, b neighbor) int {
+		return int(a.radio.id - b.radio.id)
 	})
 	r.nbEpoch = c.epoch
 	r.nbValid = true
@@ -205,13 +212,95 @@ func (c *Channel) Reachable(a, b pkt.NodeID) bool {
 	return c.Distance(a, b) <= TxRange
 }
 
+// NeighborCount returns the size of the node's current neighbor set
+// (carrier-sense range). It shares the per-epoch cache with transmissions;
+// diagnostics and benchmarks use it to drive the neighbor-query path.
+func (c *Channel) NeighborCount(id pkt.NodeID) int {
+	return len(c.neighborsOf(c.radios[id]))
+}
+
+// txRecord tracks one transmission's outstanding signal-end events so the
+// frame can be handed back to its owner (the MAC's frame pool) once the
+// channel provably holds no more references to it.
+type txRecord struct {
+	frame     any
+	owner     *Radio
+	remaining int32
+	next      *txRecord // freelist link
+}
+
 // signal is one transmission as perceived by one receiver.
 type signal struct {
 	frame      any
 	from       pkt.NodeID
+	to         *Radio
 	decodable  bool
 	power      float64
 	start, end sim.Time
+	tx         *txRecord
+	next       *signal // freelist link
+}
+
+func (c *Channel) getSignal() *signal {
+	s := c.freeSignal
+	if s != nil {
+		c.freeSignal = s.next
+		s.next = nil
+		return s
+	}
+	return &signal{}
+}
+
+func (c *Channel) putSignal(s *signal) {
+	s.frame = nil
+	s.to = nil
+	s.tx = nil
+	s.next = c.freeSignal
+	c.freeSignal = s
+}
+
+func (c *Channel) getTx() *txRecord {
+	t := c.freeTx
+	if t != nil {
+		c.freeTx = t.next
+		t.next = nil
+		return t
+	}
+	return &txRecord{}
+}
+
+func (c *Channel) putTx(t *txRecord) {
+	t.frame = nil
+	t.owner = nil
+	t.next = c.freeTx
+	c.freeTx = t
+}
+
+// signalStartFn/signalEndFn/txDoneFn are the scheduler trampolines for the
+// transmission events. Package-level functions plus an argument mean
+// Transmit schedules 2k+1 events without allocating a single closure.
+func signalStartFn(a any) {
+	s := a.(*signal)
+	s.to.signalStart(s)
+}
+
+func signalEndFn(a any) {
+	s := a.(*signal)
+	r := s.to
+	r.signalEnd(s)
+	tx := s.tx
+	r.ch.putSignal(s)
+	tx.remaining--
+	if tx.remaining == 0 {
+		tx.owner.frameDone(tx.frame)
+		r.ch.putTx(tx)
+	}
+}
+
+func txDoneFn(a any) {
+	r := a.(*Radio)
+	r.txUntil = 0
+	r.handler.TxDone()
 }
 
 // Radio is the physical layer of one node: it transmits frames onto the
@@ -222,6 +311,11 @@ type Radio struct {
 	id      pkt.NodeID
 	pos     geo.Point // current position (updated each epoch)
 	handler Handler
+
+	// OnFrameReleased, if set, fires once the channel holds no more
+	// references to a transmitted frame (every receiver's signal-end event
+	// has retired). The MAC uses it to recycle frame objects.
+	OnFrameReleased func(frame any)
 
 	// Neighbor cache, valid for one position epoch.
 	nbCache []neighbor
@@ -284,20 +378,40 @@ func (r *Radio) Transmit(frame any, airtime time.Duration) {
 	r.txUntil = now + airtime
 	r.txTime += airtime
 	r.FramesSent++
-	for _, nb := range r.ch.neighborsOf(r) {
-		nb := nb
-		start := now + nb.propDelay
-		s := &signal{
-			frame: frame, from: r.id, decodable: nb.decodable,
-			power: nb.power, start: start, end: start + airtime,
+	neighbors := r.ch.neighborsOf(r)
+	if len(neighbors) == 0 {
+		// Nobody can hear the frame: the channel never references it.
+		r.frameDone(frame)
+	} else {
+		tx := r.ch.getTx()
+		tx.frame = frame
+		tx.owner = r
+		tx.remaining = int32(len(neighbors))
+		for i := range neighbors {
+			nb := &neighbors[i]
+			start := now + nb.propDelay
+			s := r.ch.getSignal()
+			s.frame = frame
+			s.from = r.id
+			s.to = nb.radio
+			s.decodable = nb.decodable
+			s.power = nb.power
+			s.start = start
+			s.end = start + airtime
+			s.tx = tx
+			r.ch.sched.AtFunc(start, signalStartFn, s)
+			r.ch.sched.AtFunc(s.end, signalEndFn, s)
 		}
-		r.ch.sched.At(start, func() { nb.radio.signalStart(s) })
-		r.ch.sched.At(s.end, func() { nb.radio.signalEnd(s) })
 	}
-	r.ch.sched.At(r.txUntil, func() {
-		r.txUntil = 0
-		r.handler.TxDone()
-	})
+	r.ch.sched.AtFunc(r.txUntil, txDoneFn, r)
+}
+
+// frameDone reports the frame back to the owner once the channel is done
+// with it.
+func (r *Radio) frameDone(frame any) {
+	if r.OnFrameReleased != nil {
+		r.OnFrameReleased(frame)
+	}
 }
 
 // signalStart registers energy arriving at this radio and decides whether a

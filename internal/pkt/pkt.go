@@ -85,6 +85,15 @@ type UDPHeader struct {
 // Packet is one network-layer datagram. Packets are passed by pointer and
 // never mutated after construction except for hop-by-hop fields (TTL);
 // layered headers are nil when absent.
+//
+// Packets built through a Pool are reference counted: the creator starts
+// with one reference, every layer that keeps the packet beyond the current
+// callback (the MAC handing it to the channel, a receiver delivering it up
+// the stack) takes another with Retain, and every terminal consumption —
+// sink delivery, queue drop, routing give-up — pairs with one Release.
+// When the count reaches zero the block (packet plus its co-allocated
+// header) returns to the pool. Packets built as plain literals (tests,
+// external tools) have no pool; Retain/Release on them are no-ops.
 type Packet struct {
 	UID  uint64 // globally unique per scenario, for tracing
 	Kind Kind
@@ -96,6 +105,16 @@ type Packet struct {
 	TCP     *TCPHeader
 	UDP     *UDPHeader
 	Routing any // routing-protocol payload (owned by the routing package)
+
+	// Pool plumbing. The transport headers are co-allocated in the same
+	// block: a pooled TCP packet costs one allocation on first use and
+	// zero at steady state, instead of separate packet+header allocations
+	// per transmission.
+	pool   *Pool
+	refs   int32
+	next   *Packet // freelist link
+	ownTCP TCPHeader
+	ownUDP UDPHeader
 }
 
 // String renders a compact trace representation.
@@ -112,12 +131,87 @@ func (p *Packet) String() string {
 	}
 }
 
-// UIDSource hands out unique packet ids for one scenario. The zero value
-// is ready to use.
-type UIDSource struct{ next uint64 }
+// Pool hands out unique packet ids and recycled packet blocks for one
+// scenario. The zero value is ready to use. Pools are not safe for
+// concurrent use — exactly like the scheduler, one pool belongs to one
+// single-threaded simulation.
+type Pool struct {
+	nextUID uint64
+	free    *Packet
+}
+
+// UIDSource is the historical name of Pool, kept for call sites that only
+// draw ids.
+type UIDSource = Pool
 
 // Next returns a fresh id.
-func (u *UIDSource) Next() uint64 {
-	u.next++
-	return u.next
+func (u *Pool) Next() uint64 {
+	u.nextUID++
+	return u.nextUID
+}
+
+// get pops a recycled block (or allocates one) and stamps the common
+// pooled-packet state. The UID is drawn here, so pooled construction keeps
+// the exact id sequence of the old literal construction sites.
+func (u *Pool) get() *Packet {
+	p := u.free
+	if p != nil {
+		u.free = p.next
+		p.next = nil
+	} else {
+		p = &Packet{}
+	}
+	p.UID = u.Next()
+	p.pool = u
+	p.refs = 1
+	return p
+}
+
+// NewTCP returns a pooled packet with a zeroed co-allocated TCP header
+// attached. The caller fills Kind, Size, addresses, TTL, and header fields.
+func (u *Pool) NewTCP() *Packet {
+	p := u.get()
+	p.ownTCP = TCPHeader{}
+	p.TCP = &p.ownTCP
+	return p
+}
+
+// NewUDP returns a pooled packet with a zeroed co-allocated UDP header.
+func (u *Pool) NewUDP() *Packet {
+	p := u.get()
+	p.ownUDP = UDPHeader{}
+	p.UDP = &p.ownUDP
+	return p
+}
+
+// New returns a pooled packet with no transport header (routing traffic).
+func (u *Pool) New() *Packet {
+	return u.get()
+}
+
+// Retain adds a reference to a pooled packet (no-op for literals).
+func (p *Packet) Retain() {
+	if p.pool != nil {
+		p.refs++
+	}
+}
+
+// Release drops one reference; the last release returns the block to its
+// pool. Releasing a literal (non-pooled) packet is a no-op. Over-releasing
+// panics — silently recycling a live packet would corrupt the simulation
+// far from the bug.
+func (p *Packet) Release() {
+	pl := p.pool
+	if pl == nil {
+		return
+	}
+	p.refs--
+	if p.refs > 0 {
+		return
+	}
+	if p.refs < 0 {
+		panic(fmt.Sprintf("pkt: over-released packet #%d", p.UID))
+	}
+	*p = Packet{pool: pl, next: pl.free}
+	pl.free = p
 }

@@ -51,6 +51,78 @@ func TestPacketString(t *testing.T) {
 	}
 }
 
+func TestPoolRecyclesBlocks(t *testing.T) {
+	var pl Pool
+	p := pl.NewTCP()
+	if p.TCP == nil || p.UDP != nil {
+		t.Fatal("NewTCP must attach exactly the TCP header")
+	}
+	p.TCP.Seq = 7
+	p.Kind = KindTCPData
+	first := p
+	firstUID := p.UID
+	p.Release()
+	q := pl.NewTCP()
+	if q != first {
+		t.Error("released block was not reused")
+	}
+	if q.UID == firstUID {
+		t.Error("recycled packet kept its old UID")
+	}
+	if q.Kind != 0 || q.TCP.Seq != 0 {
+		t.Errorf("recycled block not zeroed: kind=%v seq=%d", q.Kind, q.TCP.Seq)
+	}
+	u := pl.NewUDP()
+	if u.UDP == nil || u.TCP != nil {
+		t.Fatal("NewUDP must attach exactly the UDP header")
+	}
+}
+
+func TestPoolRefcountKeepsPacketLive(t *testing.T) {
+	var pl Pool
+	p := pl.New()
+	p.Retain() // second reference (e.g. a frame on the air)
+	p.Release()
+	if q := pl.New(); q == p {
+		t.Fatal("block recycled while a reference was still held")
+	}
+	p.Release() // last reference
+	if q := pl.New(); q != p {
+		t.Error("block not recycled after the last release")
+	}
+}
+
+func TestPoolOverReleasePanics(t *testing.T) {
+	var pl Pool
+	p := pl.New()
+	p.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	p.Release()
+}
+
+func TestLiteralPacketsIgnoreRefcounting(t *testing.T) {
+	p := &Packet{UID: 1}
+	p.Retain()
+	p.Release()
+	p.Release() // must all be no-ops
+}
+
+func TestPoolSteadyStateDoesNotAllocate(t *testing.T) {
+	var pl Pool
+	allocs := testing.AllocsPerRun(200, func() {
+		p := pl.NewTCP()
+		p.TCP.Seq = 1
+		p.Release()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state pooled construction allocates %.1f objects, want 0", allocs)
+	}
+}
+
 func TestUIDSourceUnique(t *testing.T) {
 	var u UIDSource
 	seen := map[uint64]bool{}

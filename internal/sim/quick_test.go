@@ -18,7 +18,7 @@ func TestQuickEventOrdering(t *testing.T) {
 		s := NewScheduler(seed)
 		var last Time = -1
 		ok := true
-		var events []*Event
+		var events []EventRef
 		for i, d := range delaysRaw {
 			at := Time(d) * time.Microsecond
 			ev := s.At(at, func() {

@@ -7,10 +7,18 @@
 // event callbacks dispatched by (*Scheduler).Run, so no locking is needed
 // anywhere in the simulator and every run is exactly reproducible from its
 // seed.
+//
+// The hot path is allocation-free: events live in a scheduler-owned
+// freelist and are recycled after dispatch or cancellation, and the queue
+// is a concrete 4-ary heap rather than container/heap's interface-based
+// binary heap. Callers hold EventRef handles whose generation counter makes
+// stale cancels (after the event fired and its slot was reused) safe
+// no-ops. For callbacks that would otherwise capture state, AtFunc/AfterFunc
+// take a plain function plus an argument so scheduling does not allocate a
+// closure either.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -20,28 +28,54 @@ import (
 // of the simulation. The zero value is the simulation epoch.
 type Time = time.Duration
 
-// Event is a scheduled callback. Events are created by Scheduler.At and
-// Scheduler.After and may be cancelled until they fire.
+// Event is one scheduled callback slot. Events are owned and recycled by
+// the scheduler; external code refers to them only through EventRef.
 type Event struct {
-	at     Time
-	seq    uint64 // creation order; breaks ties deterministically
-	index  int    // heap index, -1 once removed
-	fn     func()
-	cancel bool
+	at  Time
+	seq uint64 // creation order; breaks ties deterministically
+	idx int32  // heap index, -1 while not queued
+	gen uint32 // bumped on every recycle; validates EventRef handles
+
+	fn   func()    // closure form (At/After)
+	fnA  func(any) // argument form (AtFunc/AfterFunc)
+	arg  any
+	next *Event // freelist link
 }
 
-// At returns the simulated time the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// EventRef is a handle to a scheduled event. The zero value refers to no
+// event; Cancel on it is a no-op. A ref goes stale once its event fires or
+// is cancelled — stale refs are detected by generation and ignored, so
+// protocol code may keep refs around without lifecycle bookkeeping.
+type EventRef struct {
+	e   *Event
+	gen uint32
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancel }
+// Pending reports whether the referenced event is still queued.
+func (r EventRef) Pending() bool {
+	return r.e != nil && r.e.gen == r.gen && r.e.idx >= 0
+}
+
+// Cancelled reports that the referenced event will never fire anymore
+// through this handle: it was cancelled (or already fired and its slot
+// recycled). The zero ref reports true.
+func (r EventRef) Cancelled() bool { return !r.Pending() }
+
+// At returns the scheduled fire time; only meaningful while Pending.
+func (r EventRef) At() Time {
+	if !r.Pending() {
+		return 0
+	}
+	return r.e.at
+}
 
 // Scheduler is a discrete-event scheduler. The zero value is not usable;
 // create one with NewScheduler.
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	heap    []*Event
+	free    *Event
 	rng     *rand.Rand
 	stopped bool
 	// dispatched counts events that have fired (for diagnostics and tests).
@@ -64,38 +98,83 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 // Dispatched returns the number of events executed so far.
 func (s *Scheduler) Dispatched() uint64 { return s.dispatched }
 
-// At schedules fn to run at absolute simulated time t. Scheduling in the
-// past (t < Now) panics: it always indicates a protocol bug, and silently
-// reordering events would corrupt causality.
-func (s *Scheduler) At(t Time, fn func()) *Event {
+// alloc takes an event slot from the freelist (or the heap allocator when
+// the freelist is dry) and stamps it with the schedule key.
+func (s *Scheduler) alloc(t Time) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	if fn == nil {
-		panic("sim: scheduling nil callback")
+	e := s.free
+	if e != nil {
+		s.free = e.next
+		e.next = nil
+	} else {
+		e = &Event{}
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	e.at = t
+	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, e)
 	return e
 }
 
+// release recycles a dispatched or cancelled event slot. Bumping the
+// generation invalidates every outstanding EventRef to it.
+func (s *Scheduler) release(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.fnA = nil
+	e.arg = nil
+	e.idx = -1
+	e.next = s.free
+	s.free = e
+}
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past (t < Now) panics: it always indicates a protocol bug, and silently
+// reordering events would corrupt causality.
+func (s *Scheduler) At(t Time, fn func()) EventRef {
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	e := s.alloc(t)
+	e.fn = fn
+	s.push(e)
+	return EventRef{e: e, gen: e.gen}
+}
+
+// AtFunc schedules fn(arg) at absolute time t. Unlike At, the callback is a
+// plain function plus an argument, so hot paths schedule without allocating
+// a closure.
+func (s *Scheduler) AtFunc(t Time, fn func(any), arg any) EventRef {
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	e := s.alloc(t)
+	e.fnA = fn
+	e.arg = arg
+	s.push(e)
+	return EventRef{e: e, gen: e.gen}
+}
+
 // After schedules fn to run d after the current time.
-func (s *Scheduler) After(d Time, fn func()) *Event {
+func (s *Scheduler) After(d Time, fn func()) EventRef {
 	return s.At(s.now+d, fn)
+}
+
+// AfterFunc schedules fn(arg) to run d after the current time.
+func (s *Scheduler) AfterFunc(d Time, fn func(any), arg any) EventRef {
+	return s.AtFunc(s.now+d, fn, arg)
 }
 
 // Cancel prevents a pending event from firing. Cancelling an event that
 // already fired (or was already cancelled) is a no-op, which makes timer
 // management in protocol code straightforward.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.cancel {
+func (s *Scheduler) Cancel(r EventRef) {
+	if !r.Pending() {
 		return
 	}
-	e.cancel = true
-	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
-	}
+	s.remove(r.e)
+	s.release(r.e)
 }
 
 // Stop makes the current Run/RunUntil call return after the in-flight event
@@ -103,26 +182,31 @@ func (s *Scheduler) Cancel(e *Event) {
 func (s *Scheduler) Stop() { s.stopped = true }
 
 // Pending returns the number of events waiting in the queue.
-func (s *Scheduler) Pending() int { return s.queue.Len() }
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // Step executes the single earliest pending event. It returns false when
 // the queue is empty.
 func (s *Scheduler) Step() bool {
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
-			continue
-		}
-		if e.at < s.now {
-			panic(fmt.Sprintf("sim: time moving backwards: event at %v, now %v", e.at, s.now))
-		}
-		s.now = e.at
-		s.dispatched++
-		e.cancel = true // mark consumed so late Cancel calls are no-ops
-		e.fn()
-		return true
+	if len(s.heap) == 0 {
+		return false
 	}
-	return false
+	e := s.pop()
+	if e.at < s.now {
+		panic(fmt.Sprintf("sim: time moving backwards: event at %v, now %v", e.at, s.now))
+	}
+	s.now = e.at
+	s.dispatched++
+	// Copy the callback out and recycle the slot before running it: the
+	// callback may schedule (and thus reuse the slot), and any stale
+	// Cancel during the callback is rejected by the bumped generation.
+	fn, fnA, arg := e.fn, e.fnA, e.arg
+	s.release(e)
+	if fnA != nil {
+		fnA(arg)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -138,8 +222,7 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(deadline Time) {
 	s.stopped = false
 	for !s.stopped {
-		e := s.queue.peek()
-		if e == nil || e.at > deadline {
+		if len(s.heap) == 0 || s.heap[0].at > deadline {
 			break
 		}
 		s.Step()
@@ -149,43 +232,102 @@ func (s *Scheduler) RunUntil(deadline Time) {
 	}
 }
 
-// eventQueue is a binary heap ordered by (time, creation sequence).
-type eventQueue []*Event
+// The queue is a 4-ary min-heap ordered by (time, creation sequence). The
+// wider fan-out halves the tree depth against a binary heap, and sift
+// operations touch concrete *Event values — no interface dispatch, no
+// per-push boxing.
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders events by (at, seq); seq is unique, so this is a total order
+// and dispatch order is independent of heap shape.
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+func (s *Scheduler) push(e *Event) {
+	e.idx = int32(len(s.heap))
+	s.heap = append(s.heap, e)
+	s.siftUp(int(e.idx))
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
+func (s *Scheduler) pop() *Event {
+	h := s.heap
+	e := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	if n > 0 {
+		last.idx = 0
+		s.heap[0] = last
+		s.siftDown(0)
+	}
+	e.idx = -1
 	return e
 }
 
-func (q eventQueue) peek() *Event {
-	if len(q) == 0 {
-		return nil
+// remove deletes the event at its current heap position.
+func (s *Scheduler) remove(e *Event) {
+	i := int(e.idx)
+	h := s.heap
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	if i < n {
+		last.idx = int32(i)
+		s.heap[i] = last
+		s.siftDown(i)
+		s.siftUp(i)
 	}
-	return q[0]
+	e.idx = -1
+}
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := h[parent]
+		if !less(e, p) {
+			break
+		}
+		h[i] = p
+		p.idx = int32(i)
+		i = parent
+	}
+	h[i] = e
+	e.idx = int32(i)
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !less(h[min], e) {
+			break
+		}
+		h[i] = h[min]
+		h[i].idx = int32(i)
+		i = min
+	}
+	h[i] = e
+	e.idx = int32(i)
 }

@@ -66,17 +66,63 @@ func TestSchedulerCancelPreventsFiring(t *testing.T) {
 
 func TestSchedulerCancelAfterFireIsNoop(t *testing.T) {
 	s := NewScheduler(1)
-	var ev *Event
-	ev = s.At(time.Millisecond, func() {})
+	ev := s.At(time.Millisecond, func() {})
 	s.Run()
 	s.Cancel(ev) // must not panic or corrupt the heap
 	s.At(2*time.Millisecond, func() {})
 	s.Run()
 }
 
-func TestSchedulerCancelNilIsNoop(t *testing.T) {
+func TestSchedulerCancelZeroRefIsNoop(t *testing.T) {
 	s := NewScheduler(1)
-	s.Cancel(nil)
+	s.Cancel(EventRef{})
+}
+
+func TestSchedulerStaleCancelDoesNotHitRecycledSlot(t *testing.T) {
+	s := NewScheduler(1)
+	stale := s.At(time.Millisecond, func() {})
+	s.Run() // fires; the event slot returns to the freelist
+	fired := false
+	fresh := s.At(2*time.Millisecond, func() { fired = true })
+	s.Cancel(stale) // stale handle: must not cancel the recycled slot
+	if fresh.Cancelled() {
+		t.Fatal("fresh event reported cancelled after stale Cancel")
+	}
+	s.Run()
+	if !fired {
+		t.Error("stale Cancel killed an unrelated recycled event")
+	}
+}
+
+func TestSchedulerSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	s := NewScheduler(1)
+	tick := func() {}
+	// Warm the freelist, then require the schedule+dispatch cycle to reuse
+	// slots without touching the heap allocator.
+	for i := 0; i < 64; i++ {
+		s.After(time.Microsecond, tick)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 16; i++ {
+			s.After(time.Microsecond, tick)
+		}
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state schedule/dispatch allocates %.1f objects per cycle, want 0", allocs)
+	}
+}
+
+func TestSchedulerAtFuncPassesArgument(t *testing.T) {
+	s := NewScheduler(1)
+	var got, got2 any
+	s.AtFunc(time.Millisecond, func(a any) { got = a }, 42)
+	s.AfterFunc(2*time.Millisecond, func(a any) { got2 = a }, "x")
+	s.Run()
+	if got != 42 || got2 != "x" {
+		t.Errorf("AtFunc/AfterFunc args = %v, %v; want 42, x", got, got2)
+	}
 }
 
 func TestSchedulerPastSchedulingPanics(t *testing.T) {

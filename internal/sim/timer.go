@@ -6,10 +6,13 @@ package sim
 //
 // Unlike scheduling raw events, a Timer guarantees at most one pending
 // expiry at a time: rescheduling implicitly cancels the previous one.
+// Arming a timer does not allocate: the expiry event carries the timer
+// itself as the callback argument.
 type Timer struct {
-	sched *Scheduler
-	fn    func()
-	ev    *Event
+	sched    *Scheduler
+	fn       func()
+	ref      EventRef
+	deadline Time
 }
 
 // NewTimer returns a stopped timer that runs fn on expiry.
@@ -23,43 +26,43 @@ func NewTimer(sched *Scheduler, fn func()) *Timer {
 	return &Timer{sched: sched, fn: fn}
 }
 
+// timerFire is the shared expiry trampoline: clear the pending ref before
+// running the callback so Reset/Stop inside it see an idle timer.
+func timerFire(arg any) {
+	t := arg.(*Timer)
+	t.ref = EventRef{}
+	t.fn()
+}
+
 // Reset (re)schedules the timer to fire d from now, cancelling any pending
 // expiry.
 func (t *Timer) Reset(d Time) {
-	t.Stop()
-	ev := t.sched.After(d, func() {
-		t.ev = nil
-		t.fn()
-	})
-	t.ev = ev
+	t.ResetAt(t.sched.Now() + d)
 }
 
 // ResetAt (re)schedules the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	ev := t.sched.At(at, func() {
-		t.ev = nil
-		t.fn()
-	})
-	t.ev = ev
+	t.ref = t.sched.AtFunc(at, timerFire, t)
+	t.deadline = at
 }
 
 // Stop cancels a pending expiry. Stopping an idle timer is a no-op.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.sched.Cancel(t.ev)
-		t.ev = nil
+	if t.ref.e != nil {
+		t.sched.Cancel(t.ref)
+		t.ref = EventRef{}
 	}
 }
 
 // Pending reports whether an expiry is scheduled.
-func (t *Timer) Pending() bool { return t.ev != nil }
+func (t *Timer) Pending() bool { return t.ref.e != nil }
 
 // Deadline returns the time of the pending expiry; it is only meaningful
 // when Pending reports true.
 func (t *Timer) Deadline() Time {
-	if t.ev == nil {
+	if t.ref.e == nil {
 		return 0
 	}
-	return t.ev.At()
+	return t.deadline
 }

@@ -89,10 +89,13 @@ type Sink struct {
 	rcvNext int64
 	buffer  map[int64]bool // out-of-order packets above rcvNext
 
-	pending      int      // in-order packets received but not yet ACKed
-	lastTS       sim.Time // SentAt of the most recent pending arrival
-	regenTimer   *sim.Timer
-	lastArrival  *pkt.TCPHeader
+	pending    int      // in-order packets received but not yet ACKed
+	lastTS     sim.Time // SentAt of the most recent pending arrival
+	regenTimer *sim.Timer
+	// lastRtx is the Retransmit flag of the most recent data arrival,
+	// copied out of the header: packets are pooled, so holding the header
+	// pointer across events would read recycled memory.
+	lastRtx      bool
 	statsCurrent SinkStats
 
 	// Delay, when set, records the end-to-end latency of every packet
@@ -132,7 +135,7 @@ func (s *Sink) HandleData(p *pkt.Packet) {
 	if h == nil {
 		return
 	}
-	s.lastArrival = h
+	s.lastRtx = h.Retransmit
 	switch {
 	case h.Seq == s.rcvNext:
 		if s.Delay != nil {
@@ -235,26 +238,18 @@ func (s *Sink) sendAck(echo sim.Time) { s.sendAckOpt(echo, false) }
 
 func (s *Sink) sendAckOpt(echo sim.Time, noEcho bool) {
 	s.statsCurrent.AcksSent++
-	rtx := false
-	if s.lastArrival != nil {
-		// Echo whether the triggering data packet was a retransmission so
-		// the sender can apply Karn's rule to the RTT sample.
-		rtx = s.lastArrival.Retransmit
-	}
-	p := &pkt.Packet{
-		UID:  s.uids.Next(),
-		Kind: pkt.KindTCPAck,
-		Size: pkt.TCPAckSize,
-		Src:  s.src,
-		Dst:  s.dst,
-		TTL:  64,
-		TCP: &pkt.TCPHeader{
-			Flow:       s.flow,
-			Ack:        s.rcvNext,
-			SentAt:     echo,
-			NoEcho:     noEcho,
-			Retransmit: rtx,
-		},
-	}
+	p := s.uids.NewTCP()
+	p.Kind = pkt.KindTCPAck
+	p.Size = pkt.TCPAckSize
+	p.Src = s.src
+	p.Dst = s.dst
+	p.TTL = 64
+	p.TCP.Flow = s.flow
+	p.TCP.Ack = s.rcvNext
+	p.TCP.SentAt = echo
+	p.TCP.NoEcho = noEcho
+	// Echo whether the triggering data packet was a retransmission so the
+	// sender can apply Karn's rule to the RTT sample.
+	p.TCP.Retransmit = s.lastRtx
 	s.out(p)
 }

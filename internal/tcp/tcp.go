@@ -202,20 +202,16 @@ func (b *base) transmit(seq int64) {
 	if seq+1 > b.maxSeq {
 		b.maxSeq = seq + 1
 	}
-	p := &pkt.Packet{
-		UID:  b.uids.Next(),
-		Kind: pkt.KindTCPData,
-		Size: pkt.TCPDataSize,
-		Src:  b.src,
-		Dst:  b.dst,
-		TTL:  64,
-		TCP: &pkt.TCPHeader{
-			Flow:       b.flow,
-			Seq:        seq,
-			SentAt:     now,
-			Retransmit: isRtx,
-		},
-	}
+	p := b.uids.NewTCP()
+	p.Kind = pkt.KindTCPData
+	p.Size = pkt.TCPDataSize
+	p.Src = b.src
+	p.Dst = b.dst
+	p.TTL = 64
+	p.TCP.Flow = b.flow
+	p.TCP.Seq = seq
+	p.TCP.SentAt = now
+	p.TCP.Retransmit = isRtx
 	b.sentAt[seq] = now
 	b.stats.DataSent++
 	if isRtx {

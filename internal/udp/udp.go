@@ -57,15 +57,15 @@ func (s *Sender) SetGap(gap time.Duration) {
 }
 
 func (s *Sender) tick() {
-	p := &pkt.Packet{
-		UID:  s.uids.Next(),
-		Kind: pkt.KindUDPData,
-		Size: pkt.UDPDataSize,
-		Src:  s.src,
-		Dst:  s.dst,
-		TTL:  64,
-		UDP:  &pkt.UDPHeader{Flow: s.flow, Seq: s.nextSeq, SentAt: s.sched.Now()},
-	}
+	p := s.uids.NewUDP()
+	p.Kind = pkt.KindUDPData
+	p.Size = pkt.UDPDataSize
+	p.Src = s.src
+	p.Dst = s.dst
+	p.TTL = 64
+	p.UDP.Flow = s.flow
+	p.UDP.Seq = s.nextSeq
+	p.UDP.SentAt = s.sched.Now()
 	s.nextSeq++
 	s.Sent++
 	s.out(p)
