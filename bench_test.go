@@ -1,4 +1,4 @@
-package manetsim
+package manetsim_test
 
 // One benchmark per table and figure of the paper's evaluation section.
 // Each iteration regenerates the complete experiment at a reduced scale
@@ -12,8 +12,10 @@ package manetsim
 // `go run ./cmd/paperexp -all -scale paper`.
 
 import (
+	"context"
 	"testing"
 
+	"manetsim"
 	"manetsim/internal/exp"
 )
 
@@ -230,14 +232,12 @@ func BenchmarkAblationStaticRoutes(b *testing.B) {
 // scenario (events, allocations) rather than a whole figure.
 func BenchmarkSingleRunChain8Vegas(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := Run(Config{
-			Topology:     Chain(8),
-			Bandwidth:    Rate2Mbps,
-			Transport:    TransportSpec{Protocol: Vegas},
-			Seed:         int64(i + 1),
-			TotalPackets: 2200,
-			BatchPackets: 200,
-		})
+		res, err := manetsim.Run(context.Background(), manetsim.Chain(8),
+			manetsim.WithBandwidth(manetsim.Rate2Mbps),
+			manetsim.WithTransport(manetsim.TransportSpec{Protocol: manetsim.Vegas}),
+			manetsim.WithSeed(int64(i+1)),
+			manetsim.WithPackets(2200, 200),
+		)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,442 @@
+package manetsim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"manetsim/internal/core"
+	"manetsim/internal/pkt"
+	"manetsim/internal/stats"
+)
+
+// Scale sets a campaign's default per-run measurement budget; configs that
+// set their own TotalPackets/BatchPackets/Seed keep them. PaperScale
+// replicates the paper's methodology exactly; QuickScale keeps the same
+// 11-batch structure at a tenth of the packets for interactive use and CI;
+// BenchScale shrinks it further for benchmarks.
+type Scale struct {
+	Name         string
+	TotalPackets int64
+	BatchPackets int64
+	// Seed is the default seed for configs that do not set one.
+	Seed int64
+}
+
+// Predefined scales.
+var (
+	PaperScale = Scale{Name: "paper", TotalPackets: 110000, BatchPackets: 10000, Seed: 1}
+	QuickScale = Scale{Name: "quick", TotalPackets: 11000, BatchPackets: 1000, Seed: 1}
+	BenchScale = Scale{Name: "bench", TotalPackets: 2200, BatchPackets: 200, Seed: 1}
+)
+
+// Campaign executes parameter studies over the simulator: it applies a
+// common Scale to every run, deduplicates identical configs through a
+// concurrency-safe single-flight cache, bounds parallel execution, and
+// aggregates seed replications into confidence intervals. A Campaign is
+// safe for concurrent use; runs sharing it share its cache, so sweeps that
+// overlap (e.g. figures plotting different metrics of the same runs) pay
+// for each simulation once.
+type Campaign struct {
+	Scale Scale
+	// Workers bounds parallel simulations (default GOMAXPROCS).
+	Workers int
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+	sem   chan struct{}
+	once  sync.Once
+
+	gapMu   sync.Mutex
+	gapMemo map[string]time.Duration
+}
+
+// NewCampaign creates a campaign at the given scale.
+func NewCampaign(scale Scale) *Campaign {
+	return &Campaign{Scale: scale}
+}
+
+func (c *Campaign) init() {
+	c.once.Do(func() {
+		if c.Workers <= 0 {
+			c.Workers = runtime.GOMAXPROCS(0)
+		}
+		c.sem = make(chan struct{}, c.Workers)
+		c.cache = make(map[string]*cacheEntry)
+		c.gapMemo = make(map[string]time.Duration)
+	})
+}
+
+// scaled fills a config's unset measurement budget and seed from the
+// campaign scale. Explicit per-config values win, so WithPackets/WithSeed
+// keep their meaning through RunScenario.
+func (c *Campaign) scaled(cfg Config) Config {
+	if cfg.TotalPackets == 0 {
+		cfg.TotalPackets = c.Scale.TotalPackets
+	}
+	if cfg.BatchPackets == 0 {
+		cfg.BatchPackets = c.Scale.BatchPackets
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = c.Scale.Seed
+	}
+	return cfg
+}
+
+// errCampaignObserver rejects observers on campaign runs: a cached result
+// is returned without re-running (so the observer would silently see
+// nothing), and parallel sweep runs would invoke one observer from many
+// goroutines, breaking Observer's single-threaded contract.
+var errCampaignObserver = errors.New("manetsim: campaign runs do not support Config.Observer — results may be served from the shared cache without re-running, and sweeps run in parallel; attach observers to direct Run calls instead")
+
+// configKey derives the cache key from a config by encoding every field by
+// value. JSON encoding is deterministic (struct order, no map fields) and
+// follows the Scenario pointer into its nodes and flows, so two
+// independently built but equal scenarios share a key; the Observer field
+// is excluded by its json:"-" tag.
+func configKey(cfg Config) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// Config is a plain data struct; encoding cannot fail.
+		panic(fmt.Sprintf("manetsim: encoding campaign cache key: %v", err))
+	}
+	return string(b)
+}
+
+// errAborted marks work skipped because an earlier item in the same
+// fan-out already failed. It never escapes runParallel: the first real
+// error wins the error channel before the abort flag is raised.
+var errAborted = errors.New("manetsim: campaign run skipped after an earlier failure")
+
+// runParallel is the shared fan-out: it executes work(i) for every i in
+// [0,n) on its own goroutine and returns the results in input order.
+// Bounding comes from withSlot inside the work functions, so cache hits
+// never wait for a worker slot.
+//
+// The first error returns immediately — the caller does not wait for the
+// remaining slots to drain. In-flight simulations cannot be preempted and
+// finish in the background (their cache entries stay valid), but queued
+// work that has not claimed a slot yet observes the abort flag and is
+// skipped.
+func (c *Campaign) runParallel(n int, work func(i int, abort *atomic.Bool) (*Result, error)) ([]*Result, error) {
+	results := make([]*Result, n)
+	var (
+		abort atomic.Bool
+		wg    sync.WaitGroup
+	)
+	errc := make(chan error, 1)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := work(i, &abort)
+			if err != nil {
+				// First real error wins the buffered slot; errAborted from
+				// skipped work arrives only after it, so it is always
+				// dropped here.
+				select {
+				case errc <- err:
+				default:
+				}
+				abort.Store(true)
+				return
+			}
+			results[i] = res
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case err := <-errc:
+		return nil, err
+	case <-done:
+		select {
+		case err := <-errc:
+			return nil, err
+		default:
+		}
+		return results, nil
+	}
+}
+
+// withSlot runs fn while holding one of the campaign's worker slots.
+// Cancellation and a raised abort flag are both honoured while queued:
+// work behind a failed or cancelled sibling bails out without running.
+func (c *Campaign) withSlot(ctx context.Context, abort *atomic.Bool, fn func() (*Result, error)) (*Result, error) {
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-c.sem }()
+	if abort != nil && abort.Load() {
+		return nil, errAborted
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return fn()
+}
+
+// cacheEntry is one single-flight cache slot: the first caller for a key
+// executes the run, concurrent duplicates wait for it and share the
+// outcome; done is closed once res/err are set.
+type cacheEntry struct {
+	once sync.Once
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+func (e *cacheEntry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// forget drops a completed entry so a later caller re-runs the config;
+// used when a run died of context cancellation, which says nothing about
+// the config itself.
+func (c *Campaign) forget(key string, e *cacheEntry) {
+	c.mu.Lock()
+	if c.cache[key] == e {
+		delete(c.cache, key)
+	}
+	c.mu.Unlock()
+}
+
+// cachedRun executes one already-scaled config through the cache.
+// Completed entries return immediately without touching the worker
+// semaphore. An abort or cancellation observed before the entry is claimed
+// leaves it unclaimed, and an entry whose run was cancelled mid-flight is
+// forgotten — so neither aborts nor cancellations poison the cache.
+func (c *Campaign) cachedRun(ctx context.Context, cfg Config, abort *atomic.Bool) (*Result, error) {
+	if cfg.Observer != nil {
+		return nil, errCampaignObserver
+	}
+	key := configKey(cfg)
+	c.mu.Lock()
+	e := c.cache[key]
+	if e == nil {
+		e = &cacheEntry{done: make(chan struct{})}
+		c.cache[key] = e
+	}
+	c.mu.Unlock()
+	if e.completed() {
+		return e.res, e.err
+	}
+	return c.withSlot(ctx, abort, func() (*Result, error) {
+		e.once.Do(func() {
+			e.res, e.err = core.RunContext(ctx, cfg)
+			if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+				c.forget(key, e)
+			}
+			close(e.done)
+		})
+		return e.res, e.err
+	})
+}
+
+// Run executes one config — scaled to the campaign's Scale — through the
+// cache.
+func (c *Campaign) Run(ctx context.Context, cfg Config) (*Result, error) {
+	c.init()
+	return c.cachedRun(ctx, c.scaled(cfg), nil)
+}
+
+// RunScenario executes one scenario with run options (see Run at package
+// level) through the campaign's scale and cache.
+func (c *Campaign) RunScenario(ctx context.Context, scn *Scenario, opts ...Option) (*Result, error) {
+	cfg := Config{Scenario: scn}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return c.Run(ctx, cfg)
+}
+
+// RunAll executes configs in parallel, preserving order and returning the
+// first failure without draining the rest of the sweep.
+func (c *Campaign) RunAll(ctx context.Context, cfgs []Config) ([]*Result, error) {
+	c.init()
+	return c.runParallel(len(cfgs), func(i int, abort *atomic.Bool) (*Result, error) {
+		return c.cachedRun(ctx, c.scaled(cfgs[i]), abort)
+	})
+}
+
+// Sweep is a declarative parameter grid: the cartesian product of
+// scenarios, transports and rates, each replicated over Seeds. Empty axes
+// collapse to the Base config's value (and Seeds to the campaign scale's
+// seed), so a Sweep can vary exactly the dimensions under study.
+type Sweep struct {
+	Scenarios  []*Scenario
+	Transports []TransportSpec
+	Rates      []Rate
+	// Seeds replicates every cell; replicate statistics aggregate across
+	// them with 95% confidence intervals.
+	Seeds []int64
+	// Base supplies every remaining run-level knob (MaxSimTime,
+	// WarmupBatches, NoCapture, ... and the fallback Transport/Bandwidth).
+	// Base.Observer must be nil: campaign runs reject observers, since
+	// cached cells never re-run and parallel cells would share one.
+	Base Config
+}
+
+// Cell is one point of a sweep grid with its replicated runs and the
+// across-replicate estimates of the headline metrics. For a single seed
+// the estimates carry the run's value with a zero-width interval.
+type Cell struct {
+	Scenario  *Scenario
+	Transport TransportSpec
+	Rate      Rate
+	Seeds     []int64
+
+	// Runs holds one result per seed, in Seeds order.
+	Runs []*Result
+
+	// Across-replicate estimates of the per-run batch means.
+	Goodput Estimate // aggregate goodput [bit/s]
+	Rtx     Estimate // transport retransmissions per delivered packet
+	Jain    Estimate // Jain's fairness index
+}
+
+// Sweep executes the full grid (deduplicated through the cache, in
+// parallel) and returns one aggregated Cell per scenario x transport x
+// rate combination, in grid order with scenarios outermost.
+func (c *Campaign) Sweep(ctx context.Context, sw Sweep) ([]Cell, error) {
+	c.init()
+	if len(sw.Scenarios) == 0 {
+		return nil, errors.New("manetsim: Sweep needs at least one Scenario")
+	}
+	transports := sw.Transports
+	if len(transports) == 0 {
+		transports = []TransportSpec{sw.Base.Transport}
+	}
+	rates := sw.Rates
+	if len(rates) == 0 {
+		rates = []Rate{sw.Base.Bandwidth}
+	}
+	seeds := sw.Seeds
+	if len(seeds) == 0 {
+		seed := c.Scale.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		seeds = []int64{seed}
+	}
+	var cells []Cell
+	var cfgs []Config
+	for _, scn := range sw.Scenarios {
+		for _, t := range transports {
+			for _, r := range rates {
+				cells = append(cells, Cell{Scenario: scn, Transport: t, Rate: r, Seeds: seeds})
+				for _, seed := range seeds {
+					cfg := sw.Base
+					cfg.Scenario = scn
+					cfg.Transport = t
+					cfg.Bandwidth = r
+					cfg.Seed = seed
+					cfgs = append(cfgs, cfg)
+				}
+			}
+		}
+	}
+	results, err := c.RunAll(ctx, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for i := range cells {
+		cells[i].Runs = results[k : k+len(seeds)]
+		k += len(seeds)
+		cells[i].aggregate()
+	}
+	return cells, nil
+}
+
+// aggregate folds the replicated runs into across-seed estimates.
+func (cell *Cell) aggregate() {
+	n := len(cell.Runs)
+	good := make([]float64, n)
+	rtx := make([]float64, n)
+	jain := make([]float64, n)
+	for i, r := range cell.Runs {
+		good[i] = r.AggGoodput.Mean
+		rtx[i] = r.Rtx.Mean
+		jain[i] = r.Jain.Mean
+	}
+	cell.Goodput = stats.BatchMeans(good)
+	cell.Rtx = stats.BatchMeans(rtx)
+	cell.Jain = stats.BatchMeans(jain)
+}
+
+// OptimalUDPGap finds the paced-UDP inter-packet time that maximizes
+// goodput for a chain of the given hop count, following the paper's
+// procedure: start from the analytic 4-hop propagation delay and increase
+// t gradually, keeping the best measured goodput. Results are memoized per
+// campaign.
+func (c *Campaign) OptimalUDPGap(ctx context.Context, hops int, rate Rate) (time.Duration, error) {
+	c.init()
+	key := fmt.Sprintf("%d@%v", hops, rate)
+	c.gapMu.Lock()
+	if g, ok := c.gapMemo[key]; ok {
+		c.gapMu.Unlock()
+		return g, nil
+	}
+	c.gapMu.Unlock()
+
+	t0 := FourHopPropagationDelay(rate)
+	if hops < 4 {
+		// Short chains have no 4-hop pipelining: the whole chain is one
+		// contention domain, so start from the serial per-hop cost.
+		t0 = time.Duration(hops) * ExchangeTime(rate, pkt.TCPDataSize)
+	}
+	var cfgs []Config
+	var gaps []time.Duration
+	for f := 1.0; f <= 1.8; f += 0.1 {
+		gap := time.Duration(float64(t0) * f).Round(100 * time.Microsecond)
+		gaps = append(gaps, gap)
+		cfg := Config{
+			Scenario:  Chain(hops),
+			Bandwidth: rate,
+			Transport: TransportSpec{Protocol: PacedUDP, UDPGap: gap},
+			// The sweep uses a quarter of the budget per candidate.
+			TotalPackets: c.Scale.TotalPackets / 4,
+			BatchPackets: c.Scale.BatchPackets / 4,
+			Seed:         c.Scale.Seed,
+		}
+		if cfg.BatchPackets == 0 {
+			cfg.BatchPackets = cfg.TotalPackets / 11
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	// Bypass the scale rewrite and the cache: these quarter-budget probe
+	// runs are keyed by the memo, not the result cache.
+	results, err := c.runParallel(len(cfgs), func(i int, abort *atomic.Bool) (*Result, error) {
+		return c.withSlot(ctx, abort, func() (*Result, error) { return core.RunContext(ctx, cfgs[i]) })
+	})
+	if err != nil {
+		return 0, err
+	}
+	best, bestG := gaps[0], -1.0
+	for i, res := range results {
+		if g := res.AggGoodput.Mean; g > bestG {
+			best, bestG = gaps[i], g
+		}
+	}
+	c.gapMu.Lock()
+	c.gapMemo[key] = best
+	c.gapMu.Unlock()
+	return best, nil
+}

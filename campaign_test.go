@@ -1,0 +1,265 @@
+package manetsim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func benchChainCfg(hops int) Config {
+	return Config{
+		Scenario:  Chain(hops),
+		Bandwidth: Rate2Mbps,
+		Transport: TransportSpec{Protocol: Vegas, Alpha: 2},
+	}
+}
+
+func TestCampaignCacheDedupsRuns(t *testing.T) {
+	c := NewCampaign(BenchScale)
+	ctx := context.Background()
+	a, err := c.Run(ctx, benchChainCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.RunScenario(ctx, Chain(2),
+		WithBandwidth(Rate2Mbps), WithTransport(TransportSpec{Protocol: Vegas, Alpha: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("equal configs built through different entry points were not served from the cache")
+	}
+}
+
+func TestConfigKeyFollowsScenarioValues(t *testing.T) {
+	a, b := benchChainCfg(4), benchChainCfg(4)
+	if configKey(a) != configKey(b) {
+		t.Fatal("independently built equal scenarios keyed differently")
+	}
+	b.Scenario.Flows[0].Start = time.Second
+	if configKey(a) == configKey(b) {
+		t.Fatal("configs with different flow start times share a cache key")
+	}
+	c := benchChainCfg(4)
+	c.Observer = ObserverFuncs{} // must not enter the key
+	if configKey(a) != configKey(c) {
+		t.Fatal("attaching an observer changed the cache key")
+	}
+}
+
+// TestCampaignParallelReturnsFirstErrorWithoutDraining pins the
+// short-circuit contract: one failing work item must surface immediately
+// even while a sibling is still running.
+func TestCampaignParallelReturnsFirstErrorWithoutDraining(t *testing.T) {
+	c := NewCampaign(BenchScale)
+	c.Workers = 2
+	c.init()
+	boom := errors.New("boom")
+	hang := make(chan struct{})
+	defer close(hang) // let the straggler goroutine exit after the test
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.runParallel(2, func(i int, _ *atomic.Bool) (*Result, error) {
+			if i == 0 {
+				return nil, boom
+			}
+			<-hang // a slow sibling that never finishes on its own
+			return nil, nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want %v", err, boom)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runParallel waited for the hung sibling instead of short-circuiting")
+	}
+}
+
+// TestCampaignSkipsQueuedWorkAfterError asserts that work queued behind a
+// failure never executes: once the abort flag is up, slot acquisition
+// bails out before running.
+func TestCampaignSkipsQueuedWorkAfterError(t *testing.T) {
+	c := NewCampaign(BenchScale)
+	c.Workers = 1
+	c.init()
+	ctx := context.Background()
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	var ran atomic.Int32
+	var stragglers atomic.Int32
+	_, err := c.runParallel(4, func(i int, abort *atomic.Bool) (*Result, error) {
+		if i == 0 {
+			return nil, boom
+		}
+		defer stragglers.Add(1)
+		<-release // held until the error has already been returned
+		return c.withSlot(ctx, abort, func() (*Result, error) {
+			ran.Add(1)
+			return &Result{}, nil
+		})
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	close(release)
+	for i := 0; i < 100 && stragglers.Load() < 3; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if stragglers.Load() != 3 {
+		t.Fatalf("only %d/3 stragglers finished", stragglers.Load())
+	}
+	if n := ran.Load(); n != 0 {
+		t.Errorf("%d queued work items ran after the failure, want 0", n)
+	}
+}
+
+// TestRunCancelledMidRunReturnsCtxErr pins the cancellation contract of
+// the core loop: a context cancelled while the simulation is executing
+// surfaces ctx.Err() promptly instead of running to completion.
+func TestRunCancelledMidRunReturnsCtxErr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := time.Now()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	// A budget far beyond what 30 ms of wall time can simulate.
+	_, err := Run(ctx, Chain(8),
+		WithTransport(TransportSpec{Protocol: Vegas}),
+		WithSeed(1),
+		WithPackets(10_000_000, 1_000_000),
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if waited := time.Since(started); waited > 5*time.Second {
+		t.Errorf("cancellation took %v to surface, want prompt", waited)
+	}
+}
+
+// TestRunPreCancelledContext asserts an already-cancelled context never
+// starts simulating.
+func TestRunPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Chain(2), WithTransport(TransportSpec{Protocol: Vegas}), WithPackets(1100, 100))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCampaignCancellationDoesNotPoisonCache cancels a campaign run
+// mid-flight and then re-runs the same config (same cache key) with a live
+// context: the cancelled attempt must not have left a poisoned
+// single-flight entry behind.
+func TestCampaignCancellationDoesNotPoisonCache(t *testing.T) {
+	// A budget big enough that 10 ms of wall time cannot finish it, small
+	// enough that the verification rerun stays quick.
+	c := NewCampaign(Scale{Name: "mid", TotalPackets: 22000, BatchPackets: 2000, Seed: 1})
+	cfg := benchChainCfg(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Run(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	res, err := c.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("rerun after cancellation failed: %v", err)
+	}
+	if res == nil || res.Delivered < 22000 {
+		t.Errorf("rerun after cancellation returned %+v, want a complete result", res)
+	}
+}
+
+// TestCampaignRunAllCancelled asserts a cancelled context fails a sweep
+// with ctx.Err() and leaves the campaign usable.
+func TestCampaignRunAllCancelled(t *testing.T) {
+	c := NewCampaign(BenchScale)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := []Config{benchChainCfg(2), benchChainCfg(3)}
+	if _, err := c.RunAll(ctx, cfgs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	results, err := c.RunAll(context.Background(), cfgs)
+	if err != nil {
+		t.Fatalf("campaign unusable after a cancelled sweep: %v", err)
+	}
+	if len(results) != 2 || results[0] == nil || results[1] == nil {
+		t.Fatalf("post-cancel sweep returned %v", results)
+	}
+}
+
+func TestCampaignSweepAggregatesSeeds(t *testing.T) {
+	c := NewCampaign(BenchScale)
+	cells, err := c.Sweep(context.Background(), Sweep{
+		Scenarios:  []*Scenario{Chain(2)},
+		Transports: []TransportSpec{{Protocol: Vegas, Alpha: 2}, {Protocol: NewReno}},
+		Rates:      []Rate{Rate2Mbps},
+		Seeds:      []int64{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2 (one per transport)", len(cells))
+	}
+	for _, cell := range cells {
+		if len(cell.Runs) != 3 {
+			t.Fatalf("%s: runs = %d, want 3 replicates", cell.Transport.Name(), len(cell.Runs))
+		}
+		if cell.Goodput.N != 3 {
+			t.Errorf("%s: goodput estimate over %d replicates, want 3", cell.Transport.Name(), cell.Goodput.N)
+		}
+		if cell.Goodput.Mean <= 0 {
+			t.Errorf("%s: zero goodput", cell.Transport.Name())
+		}
+		for i, r := range cell.Runs {
+			if r.Config.Seed != cell.Seeds[i] {
+				t.Errorf("run %d has seed %d, want %d", i, r.Config.Seed, cell.Seeds[i])
+			}
+			if r.Config.Transport.Protocol != cell.Transport.Protocol {
+				t.Errorf("run %d transport %v, want %v", i, r.Config.Transport.Protocol, cell.Transport.Protocol)
+			}
+		}
+	}
+}
+
+func TestCampaignSweepNeedsScenario(t *testing.T) {
+	c := NewCampaign(BenchScale)
+	if _, err := c.Sweep(context.Background(), Sweep{}); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+func TestCampaignRejectsObserver(t *testing.T) {
+	c := NewCampaign(BenchScale)
+	cfg := benchChainCfg(2)
+	cfg.Observer = ObserverFuncs{}
+	if _, err := c.Run(context.Background(), cfg); err == nil ||
+		!strings.Contains(err.Error(), "do not support Config.Observer") {
+		t.Fatalf("observer-carrying campaign run returned %v, want a named rejection", err)
+	}
+}
+
+func TestCampaignHonorsExplicitBudget(t *testing.T) {
+	c := NewCampaign(PaperScale) // 110000 packets by default
+	res, err := c.RunScenario(context.Background(), Chain(2),
+		WithTransport(TransportSpec{Protocol: Vegas}),
+		WithPackets(550, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered < 550 || res.Delivered > 1100 {
+		t.Errorf("delivered %d packets, want the explicit 550 budget, not the scale's 110000", res.Delivered)
+	}
+}

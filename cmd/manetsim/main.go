@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -54,57 +55,54 @@ func main() {
 		fieldH       = flag.Float64("field-height", 0, "mobility field height [m] (set with -field-width; both 0 = initial bounding box)")
 		pin          = flag.Bool("pin-endpoints", true, "keep flow endpoints stationary (mobility only)")
 		maxSimTime   = flag.Duration("max-sim-time", 0, "simulated-time bound (0 = 24h default); mobile runs can starve")
+		progress     = flag.Bool("progress", false, "stream per-batch progress while the run executes")
 	)
 	flag.Parse()
 
-	cfg := manetsim.Config{
-		Seed:         *seed,
-		TotalPackets: *packets,
-		BatchPackets: *batch,
-		NoCapture:    *nocapture,
-	}
+	var scn *manetsim.Scenario
 	switch strings.ToLower(*topology) {
 	case "chain":
-		cfg.Topology = manetsim.Chain(*hops)
+		scn = manetsim.Chain(*hops)
 	case "grid":
-		cfg.Topology = manetsim.Grid()
+		scn = manetsim.Grid()
 	case "random":
-		cfg.Topology = manetsim.Random()
+		scn = manetsim.Random()
 	default:
 		fatalf("unknown topology %q", *topology)
 	}
+	var rate manetsim.Rate
 	switch *bandwidth {
 	case 2:
-		cfg.Bandwidth = manetsim.Rate2Mbps
+		rate = manetsim.Rate2Mbps
 	case 5.5:
-		cfg.Bandwidth = manetsim.Rate5_5Mbps
+		rate = manetsim.Rate5_5Mbps
 	case 11:
-		cfg.Bandwidth = manetsim.Rate11Mbps
+		rate = manetsim.Rate11Mbps
 	default:
 		fatalf("bandwidth must be 2, 5.5 or 11 (Mbit/s)")
 	}
+	var tspec manetsim.TransportSpec
 	switch strings.ToLower(*protocol) {
 	case "vegas":
-		cfg.Transport = manetsim.TransportSpec{Protocol: manetsim.Vegas, Alpha: *alpha, AckThinning: *thinning, DelayedAck: *delack}
+		tspec = manetsim.TransportSpec{Protocol: manetsim.Vegas, Alpha: *alpha, AckThinning: *thinning, DelayedAck: *delack}
 	case "newreno":
-		cfg.Transport = manetsim.TransportSpec{Protocol: manetsim.NewReno, AckThinning: *thinning, DelayedAck: *delack, MaxWindow: *maxWin}
+		tspec = manetsim.TransportSpec{Protocol: manetsim.NewReno, AckThinning: *thinning, DelayedAck: *delack, MaxWindow: *maxWin}
 	case "reno":
-		cfg.Transport = manetsim.TransportSpec{Protocol: manetsim.Reno, AckThinning: *thinning, DelayedAck: *delack}
+		tspec = manetsim.TransportSpec{Protocol: manetsim.Reno, AckThinning: *thinning, DelayedAck: *delack}
 	case "tahoe":
-		cfg.Transport = manetsim.TransportSpec{Protocol: manetsim.Tahoe, AckThinning: *thinning, DelayedAck: *delack}
+		tspec = manetsim.TransportSpec{Protocol: manetsim.Tahoe, AckThinning: *thinning, DelayedAck: *delack}
 	case "udp":
-		cfg.Transport = manetsim.TransportSpec{Protocol: manetsim.PacedUDP, UDPGap: *gap}
+		tspec = manetsim.TransportSpec{Protocol: manetsim.PacedUDP, UDPGap: *gap}
 	default:
 		fatalf("unknown protocol %q", *protocol)
 	}
 	if *static {
-		cfg.Routing = manetsim.RoutingStatic
+		scn.WithRouting(manetsim.RoutingStatic)
 	}
-	cfg.MaxSimTime = *maxSimTime
 	switch strings.ToLower(*mobilityKind) {
 	case "none":
 	case "waypoint":
-		cfg.Mobility = manetsim.MobilitySpec{
+		scn.WithMobility(manetsim.MobilitySpec{
 			Kind:             manetsim.MobilityRandomWaypoint,
 			MinSpeed:         *vmin,
 			MaxSpeed:         *vmax,
@@ -112,19 +110,37 @@ func main() {
 			FieldWidth:       *fieldW,
 			FieldHeight:      *fieldH,
 			PinFlowEndpoints: *pin,
-		}
+		})
 	default:
 		fatalf("unknown mobility model %q (none, waypoint)", *mobilityKind)
 	}
 
+	opts := []manetsim.Option{
+		manetsim.WithBandwidth(rate),
+		manetsim.WithTransport(tspec),
+		manetsim.WithSeed(*seed),
+		manetsim.WithPackets(*packets, *batch),
+		manetsim.WithMaxSimTime(*maxSimTime),
+	}
+	if *nocapture {
+		opts = append(opts, manetsim.WithoutCapture())
+	}
+	if *progress {
+		opts = append(opts, manetsim.WithObserver(manetsim.ObserverFuncs{
+			Progress: func(delivered, total int64, simTime time.Duration) {
+				fmt.Printf("  ... %d/%d packets at t=%v\n", delivered, total, simTime.Round(time.Millisecond))
+			},
+		}))
+	}
+
 	start := time.Now()
-	res, err := manetsim.Run(cfg)
+	res, err := manetsim.Run(context.Background(), scn, opts...)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
 	fmt.Printf("%s over %s at %.1f Mbit/s (seed %d): goodput %.1f kbit/s (±%.1f)\n",
-		cfg.Transport.Name(), *topology, *bandwidth, *seed,
+		tspec.Name(), *topology, *bandwidth, *seed,
 		res.AggGoodput.Mean/1e3, res.AggGoodput.HalfCI/1e3)
 	if *quiet {
 		return

@@ -9,11 +9,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"manetsim"
 )
+
+// demoPackets returns the demo's packet budget, overridable through
+// MANETSIM_EXAMPLE_PACKETS (CI runs every example at reduced scale).
+func demoPackets(def int64) int64 {
+	if s := os.Getenv("MANETSIM_EXAMPLE_PACKETS"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 func main() {
 	vegas := manetsim.TransportSpec{Protocol: manetsim.Vegas}
@@ -22,23 +36,19 @@ func main() {
 	// horizontal flows, FTP4-6 are 2-hop vertical ones) so path length
 	// does not confound the protocol comparison.
 	isVegas := []bool{true, false, true, false, true, false}
-	perFlow := make([]manetsim.TransportSpec, len(isVegas))
+	scn := manetsim.Grid()
 	for i, v := range isVegas {
 		if v {
-			perFlow[i] = vegas
+			scn.Flows[i].Transport = vegas
 		} else {
-			perFlow[i] = newreno
+			scn.Flows[i].Transport = newreno
 		}
 	}
-	res, err := manetsim.Run(manetsim.Config{
-		Topology:         manetsim.Grid(),
-		Bandwidth:        manetsim.Rate11Mbps,
-		Transport:        vegas,
-		PerFlowTransport: perFlow,
-		Seed:             1,
-		TotalPackets:     22000,
-		BatchPackets:     2000,
-	})
+	res, err := manetsim.Run(context.Background(), scn,
+		manetsim.WithBandwidth(manetsim.Rate11Mbps),
+		manetsim.WithSeed(1),
+		manetsim.WithPackets(demoPackets(22000), 0),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,11 +7,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"manetsim"
 )
+
+// demoPackets returns the demo's packet budget, overridable through
+// MANETSIM_EXAMPLE_PACKETS (CI runs every example at reduced scale).
+func demoPackets(def int64) int64 {
+	if s := os.Getenv("MANETSIM_EXAMPLE_PACKETS"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 func main() {
 	fmt.Println("8-hop chain, 2 Mbit/s: energy per delivered megabyte")
@@ -26,14 +40,12 @@ func main() {
 		{"NewReno", manetsim.TransportSpec{Protocol: manetsim.NewReno}},
 		{"NewReno + thinning", manetsim.TransportSpec{Protocol: manetsim.NewReno, AckThinning: true}},
 	} {
-		res, err := manetsim.Run(manetsim.Config{
-			Topology:     manetsim.Chain(8),
-			Bandwidth:    manetsim.Rate2Mbps,
-			Transport:    v.t,
-			Seed:         1,
-			TotalPackets: 11000,
-			BatchPackets: 1000,
-		})
+		res, err := manetsim.Run(context.Background(), manetsim.Chain(8),
+			manetsim.WithBandwidth(manetsim.Rate2Mbps),
+			manetsim.WithTransport(v.t),
+			manetsim.WithSeed(1),
+			manetsim.WithPackets(demoPackets(11000), 0),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,12 +7,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 	"strings"
 
 	"manetsim"
 )
+
+// demoPackets returns the demo's packet budget, overridable through
+// MANETSIM_EXAMPLE_PACKETS (CI runs every example at reduced scale).
+func demoPackets(def int64) int64 {
+	if s := os.Getenv("MANETSIM_EXAMPLE_PACKETS"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 func main() {
 	variants := []struct {
@@ -27,14 +41,12 @@ func main() {
 
 	fmt.Println("21-node grid, 6 competing FTP flows, 11 Mbit/s:")
 	for _, v := range variants {
-		res, err := manetsim.Run(manetsim.Config{
-			Topology:     manetsim.Grid(),
-			Bandwidth:    manetsim.Rate11Mbps,
-			Transport:    v.t,
-			Seed:         1,
-			TotalPackets: 22000,
-			BatchPackets: 2000,
-		})
+		res, err := manetsim.Run(context.Background(), manetsim.Grid(),
+			manetsim.WithBandwidth(manetsim.Rate11Mbps),
+			manetsim.WithTransport(v.t),
+			manetsim.WithSeed(1),
+			manetsim.WithPackets(demoPackets(22000), 0),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,38 +8,49 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 	"time"
 
 	"manetsim"
 )
 
+// demoPackets returns the demo's packet budget, overridable through
+// MANETSIM_EXAMPLE_PACKETS (CI runs every example at reduced scale).
+func demoPackets(def int64) int64 {
+	if s := os.Getenv("MANETSIM_EXAMPLE_PACKETS"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
 func main() {
 	fmt.Println("TCP Vegas, grid field (1200x400 m), flow 7->13, random waypoint relays:")
 	for _, maxSpeed := range []float64{0, 5, 20} {
-		cfg := manetsim.Config{
-			Topology:  manetsim.Grid(),
-			Bandwidth: manetsim.Rate2Mbps,
-			Transport: manetsim.TransportSpec{Protocol: manetsim.Vegas},
-			Flows:     []manetsim.FlowSpec{{Src: 7, Dst: 13}},
-			Seed:      1,
-			// Reduced scale for a fast demo.
-			TotalPackets: 11000,
-			BatchPackets: 1000,
-			MaxSimTime:   2 * time.Hour,
-		}
+		scn := manetsim.Grid().WithFlows(manetsim.Flow{Src: 7, Dst: 13})
 		if maxSpeed > 0 {
-			cfg.Mobility = manetsim.MobilitySpec{
+			scn.WithMobility(manetsim.MobilitySpec{
 				Kind:     manetsim.MobilityRandomWaypoint,
 				MaxSpeed: maxSpeed,
 				Pause:    2 * time.Second,
 				// Endpoints stay put so the path length is controlled and
 				// only route churn varies with speed.
 				PinFlowEndpoints: true,
-			}
+			})
 		}
-		res, err := manetsim.Run(cfg)
+		res, err := manetsim.Run(context.Background(), scn,
+			manetsim.WithBandwidth(manetsim.Rate2Mbps),
+			manetsim.WithTransport(manetsim.TransportSpec{Protocol: manetsim.Vegas}),
+			manetsim.WithSeed(1),
+			// Reduced scale for a fast demo.
+			manetsim.WithPackets(demoPackets(11000), 0),
+			manetsim.WithMaxSimTime(2*time.Hour),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

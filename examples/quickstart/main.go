@@ -5,23 +5,35 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"manetsim"
 )
 
+// demoPackets returns the demo's packet budget, overridable through
+// MANETSIM_EXAMPLE_PACKETS (CI runs every example at reduced scale).
+func demoPackets(def int64) int64 {
+	if s := os.Getenv("MANETSIM_EXAMPLE_PACKETS"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
 func main() {
-	res, err := manetsim.Run(manetsim.Config{
-		Topology:  manetsim.Chain(7),
-		Bandwidth: manetsim.Rate2Mbps,
-		Transport: manetsim.TransportSpec{Protocol: manetsim.Vegas},
-		Seed:      1,
-		// Reduced scale for a fast demo; drop these two lines for the
-		// paper's full 110000-packet methodology.
-		TotalPackets: 11000,
-		BatchPackets: 1000,
-	})
+	res, err := manetsim.Run(context.Background(), manetsim.Chain(7),
+		manetsim.WithBandwidth(manetsim.Rate2Mbps),
+		manetsim.WithTransport(manetsim.TransportSpec{Protocol: manetsim.Vegas}),
+		manetsim.WithSeed(1),
+		// Reduced scale for a fast demo; drop this option for the paper's
+		// full 110000-packet methodology.
+		manetsim.WithPackets(demoPackets(11000), 0),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,11 +7,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"manetsim"
 )
+
+// demoPackets returns the demo's packet budget, overridable through
+// MANETSIM_EXAMPLE_PACKETS (CI runs every example at reduced scale).
+func demoPackets(def int64) int64 {
+	if s := os.Getenv("MANETSIM_EXAMPLE_PACKETS"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 func main() {
 	fmt.Println("random ad hoc network: 120 nodes, 2500x1000 m², 10 flows, 11 Mbit/s")
@@ -22,14 +36,12 @@ func main() {
 		{"Vegas", manetsim.TransportSpec{Protocol: manetsim.Vegas}},
 		{"NewReno", manetsim.TransportSpec{Protocol: manetsim.NewReno}},
 	} {
-		res, err := manetsim.Run(manetsim.Config{
-			Topology:     manetsim.Random(),
-			Bandwidth:    manetsim.Rate11Mbps,
-			Transport:    v.t,
-			Seed:         7,
-			TotalPackets: 11000,
-			BatchPackets: 1000,
-		})
+		res, err := manetsim.Run(context.Background(), manetsim.Random(),
+			manetsim.WithBandwidth(manetsim.Rate11Mbps),
+			manetsim.WithTransport(v.t),
+			manetsim.WithSeed(7),
+			manetsim.WithPackets(demoPackets(11000), 0),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

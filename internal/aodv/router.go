@@ -102,6 +102,10 @@ type Router struct {
 	// currently usable. Without it (static scenarios) every link failure is
 	// false by construction, matching the paper.
 	LinkAlive func(nextHop pkt.NodeID) bool
+	// OnRouteFailure, if set, observes every classified route teardown
+	// (falseFailure follows the paper's definition: the MAC gave up on a
+	// link that was actually healthy).
+	OnRouteFailure func(falseFailure bool)
 
 	Counters Counters
 }
@@ -424,10 +428,14 @@ func (r *Router) sendRERR(dsts []pkt.NodeID, seqs []uint32) {
 // LinkAlive oracle only classifies the event for measurement: a teardown
 // with the neighbor still in range is the paper's false route failure.
 func (r *Router) HandleLinkFailure(p *pkt.Packet, nextHop pkt.NodeID) {
-	if r.LinkAlive != nil && !r.LinkAlive(nextHop) {
-		r.Counters.TrueRouteFailures++
-	} else {
+	falseFailure := r.LinkAlive == nil || r.LinkAlive(nextHop)
+	if falseFailure {
 		r.Counters.FalseRouteFailures++
+	} else {
+		r.Counters.TrueRouteFailures++
+	}
+	if r.OnRouteFailure != nil {
+		r.OnRouteFailure(falseFailure)
 	}
 	dsts, seqs := r.table.InvalidateNextHop(nextHop)
 

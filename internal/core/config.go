@@ -1,13 +1,15 @@
 // Package core is the scenario engine realizing the paper's evaluation
-// methodology: it builds a topology, attaches transport flows over the full
-// PHY/MAC/AODV stack, runs a steady-state simulation until a fixed number
-// of packets is delivered, and derives every reported metric — goodput,
-// transport retransmissions, average window, link-layer drop probability,
-// false route failures, Jain's fairness index and energy — using the
-// batch-means method with 95% confidence intervals.
+// methodology: it builds a scenario (node placement, flows, routing,
+// mobility), attaches transport flows over the full PHY/MAC/AODV stack,
+// runs a steady-state simulation until a fixed number of packets is
+// delivered, and derives every reported metric — goodput, transport
+// retransmissions, average window, link-layer drop probability, false
+// route failures, Jain's fairness index and energy — using the batch-means
+// method with 95% confidence intervals.
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -15,7 +17,6 @@ import (
 	"manetsim/internal/geo"
 	"manetsim/internal/mobility"
 	"manetsim/internal/phy"
-	"manetsim/internal/pkt"
 )
 
 // Protocol selects the transport variant under test.
@@ -51,7 +52,8 @@ func (p Protocol) String() string {
 	return fmt.Sprintf("proto(%d)", int(p))
 }
 
-// TransportSpec configures the transport layer for all flows of a run.
+// TransportSpec configures the transport layer of a flow (or, as
+// Config.Transport, the default for every flow that does not set its own).
 type TransportSpec struct {
 	Protocol    Protocol
 	AckThinning bool // Altman-Jiménez dynamic delayed ACKs (TCP only)
@@ -84,45 +86,35 @@ func (t TransportSpec) Name() string {
 	return s
 }
 
-// TopologyKind enumerates the paper's three scenarios.
-type TopologyKind int
-
-// Topology kinds.
-const (
-	TopoChain TopologyKind = iota + 1
-	TopoGrid
-	TopoRandom
-)
-
-// Topology describes node placement and the default flow set.
-type Topology struct {
-	Kind TopologyKind
-
-	// Hops applies to TopoChain.
-	Hops int
-
-	// Random topology parameters (defaults: the paper's 120 nodes on
-	// 2500x1000 m² with 10 flows).
-	RandomNodes  int
-	RandomWidth  float64
-	RandomHeight float64
-	RandomFlows  int
-}
-
-// Chain returns an h-hop chain topology.
-func Chain(hops int) Topology { return Topology{Kind: TopoChain, Hops: hops} }
-
-// Grid returns the paper's 21-node grid with 6 flows (Figure 15).
-func Grid() Topology { return Topology{Kind: TopoGrid} }
-
-// Random returns the paper's 120-node random topology with 10 flows.
-func Random() Topology {
-	return Topology{Kind: TopoRandom, RandomNodes: 120, RandomWidth: 2500, RandomHeight: 1000, RandomFlows: 10}
-}
-
-// FlowSpec is one transport connection.
-type FlowSpec struct {
-	Src, Dst pkt.NodeID
+// validate reports misconfigurations with the field spelled out so sweep
+// failures point at the offending spec. allowZero accepts an unset
+// Protocol (a per-flow spec inheriting the run default).
+func (t TransportSpec) validate(where string, allowZero bool) error {
+	if t.Protocol == 0 {
+		if allowZero {
+			return nil
+		}
+		return fmt.Errorf("core: %s: no transport protocol set (choose Vegas, NewReno, PacedUDP, Reno or Tahoe)", where)
+	}
+	if _, ok := protoNames[t.Protocol]; !ok {
+		return fmt.Errorf("core: %s: unknown protocol %d", where, int(t.Protocol))
+	}
+	if t.Alpha < 0 {
+		return fmt.Errorf("core: %s: negative Vegas Alpha %d (threshold is in packets, >= 0)", where, t.Alpha)
+	}
+	if t.MaxWindow < 0 {
+		return fmt.Errorf("core: %s: negative MaxWindow %d (0 means unbounded)", where, t.MaxWindow)
+	}
+	if t.UDPGap < 0 {
+		return fmt.Errorf("core: %s: negative UDPGap %v", where, t.UDPGap)
+	}
+	if t.Protocol == ProtoPacedUDP && t.UDPGap == 0 {
+		return fmt.Errorf("core: %s: paced UDP needs UDPGap > 0 (the inter-packet sending interval)", where)
+	}
+	if t.AckThinning && t.DelayedAck {
+		return fmt.Errorf("core: %s: AckThinning and DelayedAck are mutually exclusive", where)
+	}
+	return nil
 }
 
 // MobilityKind selects the node movement model.
@@ -168,8 +160,7 @@ type MobilitySpec struct {
 // buildMobility materializes the movement model for the placed nodes and
 // flows. All randomness comes from rng (the scheduler's source) so mobile
 // runs stay reproducible per seed.
-func (c Config) buildMobility(pts []geo.Point, flows []FlowSpec, rng *rand.Rand) (mobility.Model, error) {
-	m := c.Mobility
+func buildMobility(m MobilitySpec, pts []geo.Point, flows []Flow, rng *rand.Rand) (mobility.Model, error) {
 	var model mobility.Model
 	switch m.Kind {
 	case MobilityStationary:
@@ -227,31 +218,27 @@ const (
 	RoutingStatic
 )
 
-// Config fully describes one simulation run.
+// Config fully describes one simulation run: the scenario under test plus
+// the run-level knobs (bandwidth, default transport, seed, measurement
+// budget). Zero fields take the paper's defaults (2 Mbit/s, 110000 packets
+// in batches of 10000, α=2).
 type Config struct {
-	Topology  Topology
+	// Scenario is the network under test. Required.
+	Scenario *Scenario
+
 	Bandwidth phy.Rate
+
+	// Transport is the default TransportSpec for flows that do not carry
+	// their own.
 	Transport TransportSpec
-	// Flows overrides the topology's default flow set when non-nil.
-	Flows []FlowSpec
-	// PerFlowTransport, when non-nil, overrides Transport per flow (same
-	// length as the flow set). This enables protocol-coexistence studies
-	// (e.g. Vegas and NewReno competing on the grid).
-	PerFlowTransport []TransportSpec
-	Seed             int64
+
+	Seed int64
 
 	// Measurement methodology (paper: 110000 total, batches of 10000,
 	// first batch discarded).
 	TotalPackets  int64
 	BatchPackets  int64
 	WarmupBatches int
-
-	Routing RoutingKind
-
-	// Mobility selects the node movement model (default: stationary, the
-	// paper's setting). Requires AODV routing: static shortest-path routes
-	// cannot follow moving nodes.
-	Mobility MobilitySpec
 
 	// NoCapture disables the PHY's 10 dB capture rule (ablation: any
 	// overlapping signal within interference range corrupts receptions).
@@ -260,6 +247,11 @@ type Config struct {
 	// MaxSimTime bounds runs that cannot reach TotalPackets (e.g. a
 	// starved flow); the result is marked Truncated. Default 24h.
 	MaxSimTime time.Duration
+
+	// Observer, when non-nil, receives run events (batch closes, route
+	// failures, retransmissions, window samples, progress). It is excluded
+	// from the JSON encoding so campaign cache keys stay value-based.
+	Observer Observer `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -284,37 +276,26 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// buildTopology materializes node positions and the default flows.
-func (c Config) buildTopology(rng *rand.Rand) ([]geo.Point, []FlowSpec, error) {
-	switch c.Topology.Kind {
-	case TopoChain:
-		if c.Topology.Hops < 1 {
-			return nil, nil, fmt.Errorf("core: chain topology needs Hops >= 1")
-		}
-		pts := geo.Chain(c.Topology.Hops)
-		return pts, []FlowSpec{{Src: 0, Dst: pkt.NodeID(c.Topology.Hops)}}, nil
-	case TopoGrid:
-		pts, gf := geo.Grid21()
-		flows := make([]FlowSpec, len(gf))
-		for i, f := range gf {
-			flows[i] = FlowSpec{Src: pkt.NodeID(f.Src), Dst: pkt.NodeID(f.Dst)}
-		}
-		return pts, flows, nil
-	case TopoRandom:
-		t := c.Topology
-		if t.RandomNodes == 0 {
-			t = Random()
-		}
-		pts, _ := geo.Random(geo.RandomConfig{
-			N: t.RandomNodes, Width: t.RandomWidth, Height: t.RandomHeight, Range: phy.TxRange,
-		}, rng)
-		gf := geo.PickFlows(t.RandomNodes, t.RandomFlows, rng)
-		flows := make([]FlowSpec, len(gf))
-		for i, f := range gf {
-			flows[i] = FlowSpec{Src: pkt.NodeID(f.Src), Dst: pkt.NodeID(f.Dst)}
-		}
-		return pts, flows, nil
-	default:
-		return nil, nil, fmt.Errorf("core: unknown topology kind %d", c.Topology.Kind)
+// validate rejects misconfigured runs with actionable errors before any
+// simulation state is built. Flow-level checks live in Scenario.Validate,
+// which runs during materialization.
+func (c Config) validate() error {
+	if c.Scenario == nil {
+		return fmt.Errorf("core: Config.Scenario is nil; build one with NewScenario/AddNode or the Chain/Grid/Random constructors")
 	}
+	if err := c.Transport.validate("Config.Transport", true); err != nil {
+		return err
+	}
+	if c.TotalPackets < 0 || c.BatchPackets < 0 {
+		return fmt.Errorf("core: negative measurement budget (TotalPackets=%d, BatchPackets=%d)", c.TotalPackets, c.BatchPackets)
+	}
+	return nil
 }
+
+var errStaticMobility = errors.New("core: static routing cannot follow moving nodes; use AODV with mobility")
+
+func errUnknownRouting(k RoutingKind) error {
+	return fmt.Errorf("core: unknown routing kind %d", k)
+}
+
+func flowContext(fi int) string { return fmt.Sprintf("flow %d transport", fi) }

@@ -49,12 +49,15 @@ func TestRunRejectsThinningPlusDelack(t *testing.T) {
 }
 
 func TestRunPerFlowTransportMix(t *testing.T) {
-	cfg := smallCfg(Grid(), TransportSpec{Protocol: ProtoVegas})
-	cfg.TotalPackets = 2200
-	cfg.BatchPackets = 200
 	v := TransportSpec{Protocol: ProtoVegas, Alpha: 2}
 	n := TransportSpec{Protocol: ProtoNewReno}
-	cfg.PerFlowTransport = []TransportSpec{v, v, v, n, n, n}
+	scn := Grid()
+	for i, tspec := range []TransportSpec{v, v, v, n, n, n} {
+		scn.Flows[i].Transport = tspec
+	}
+	cfg := smallCfg(scn, TransportSpec{Protocol: ProtoVegas})
+	cfg.TotalPackets = 2200
+	cfg.BatchPackets = 200
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -67,11 +70,20 @@ func TestRunPerFlowTransportMix(t *testing.T) {
 	}
 }
 
-func TestRunPerFlowTransportLengthValidated(t *testing.T) {
-	cfg := smallCfg(Grid(), TransportSpec{Protocol: ProtoVegas})
-	cfg.PerFlowTransport = []TransportSpec{{Protocol: ProtoVegas}} // 1 for 6 flows
-	if _, err := Run(cfg); err == nil {
-		t.Error("mismatched PerFlowTransport length accepted")
+func TestRunPartialPerFlowTransportInheritsDefault(t *testing.T) {
+	// Flows without their own TransportSpec inherit Config.Transport;
+	// a run whose flows mix explicit and inherited transports must work.
+	scn := Grid()
+	scn.Flows[0].Transport = TransportSpec{Protocol: ProtoNewReno}
+	cfg := smallCfg(scn, TransportSpec{Protocol: ProtoVegas})
+	cfg.TotalPackets = 2200
+	cfg.BatchPackets = 200
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered < 2200 {
+		t.Errorf("mixed-inheritance run delivered %d, want 2200", res.Delivered)
 	}
 }
 

@@ -9,24 +9,23 @@ import (
 // mobileGridCfg is a small random-waypoint scenario: the grid's 21 nodes
 // with one corner-to-corner flow, moving inside the grid's bounding box.
 func mobileGridCfg(maxSpeed float64) Config {
-	cfg := Config{
-		Topology:     Grid(),
+	scn := Grid().WithFlows(Flow{Src: 0, Dst: 20})
+	if maxSpeed > 0 {
+		scn.WithMobility(MobilitySpec{
+			Kind:             MobilityRandomWaypoint,
+			MaxSpeed:         maxSpeed,
+			Pause:            500 * time.Millisecond,
+			PinFlowEndpoints: true,
+		})
+	}
+	return Config{
+		Scenario:     scn,
 		Transport:    TransportSpec{Protocol: ProtoVegas},
-		Flows:        []FlowSpec{{Src: 0, Dst: 20}},
 		Seed:         1,
 		TotalPackets: 1100,
 		BatchPackets: 100,
 		MaxSimTime:   30 * time.Minute,
 	}
-	if maxSpeed > 0 {
-		cfg.Mobility = MobilitySpec{
-			Kind:             MobilityRandomWaypoint,
-			MaxSpeed:         maxSpeed,
-			Pause:            500 * time.Millisecond,
-			PinFlowEndpoints: true,
-		}
-	}
-	return cfg
 }
 
 // resultBytes encodes a Result deterministically for byte-level comparison.
@@ -61,7 +60,7 @@ func runTwice(t *testing.T, cfg Config) *Result {
 
 func TestStaticRunDeterministicPerSeed(t *testing.T) {
 	res := runTwice(t, Config{
-		Topology:     Chain(4),
+		Scenario:     Chain(4),
 		Transport:    TransportSpec{Protocol: ProtoVegas},
 		Seed:         7,
 		TotalPackets: 1100,
@@ -120,7 +119,7 @@ func TestSeedChangesMobileRun(t *testing.T) {
 
 func TestStaticRoutingRejectsMobility(t *testing.T) {
 	cfg := mobileGridCfg(10)
-	cfg.Routing = RoutingStatic
+	cfg.Scenario.Routing = RoutingStatic
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("static routing with mobility accepted")
 	}
@@ -128,7 +127,7 @@ func TestStaticRoutingRejectsMobility(t *testing.T) {
 
 func TestUnknownMobilityKindRejected(t *testing.T) {
 	cfg := mobileGridCfg(0)
-	cfg.Mobility.Kind = MobilityKind(99)
+	cfg.Scenario.Mobility.Kind = MobilityKind(99)
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("unknown mobility kind accepted")
 	}
@@ -136,7 +135,7 @@ func TestUnknownMobilityKindRejected(t *testing.T) {
 
 func TestHalfSpecifiedFieldRejected(t *testing.T) {
 	cfg := mobileGridCfg(10)
-	cfg.Mobility.FieldWidth = 2000 // height left 0
+	cfg.Scenario.Mobility.FieldWidth = 2000 // height left 0
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("half-specified mobility field accepted")
 	}

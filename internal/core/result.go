@@ -118,7 +118,9 @@ type DelaySummary struct {
 // Result is the outcome of one Run.
 type Result struct {
 	Config Config
-	Flows  []FlowSpec
+	// Flows is the materialized flow set (generator scenarios resolve
+	// their random flows here).
+	Flows []Flow
 
 	// Measured batches (warm-up already discarded).
 	Batches []Batch

@@ -80,7 +80,7 @@ func TestBatchDropProbability(t *testing.T) {
 
 func TestResultAggregateAcrossBatches(t *testing.T) {
 	r := &Result{
-		Flows: []FlowSpec{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}},
+		Flows: []Flow{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}},
 	}
 	for i := 0; i < 10; i++ {
 		b := mkBatch(1000, 100, 100)

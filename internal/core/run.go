@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"manetsim/internal/aodv"
@@ -15,14 +15,15 @@ import (
 	"manetsim/internal/udp"
 )
 
-// scenario holds the live state of one run.
-type scenario struct {
+// scenarioState holds the live state of one run.
+type scenarioState struct {
 	cfg   Config
+	obs   Observer
 	sched *sim.Scheduler
 	uids  pkt.UIDSource
 
 	positions []geo.Point
-	flows     []FlowSpec
+	flows     []Flow
 	nodes     []*node.Node
 	routers   []*aodv.Router // nil entries under static routing
 	senders   []tcp.Sender   // per flow (nil for UDP)
@@ -48,13 +49,38 @@ type scenario struct {
 
 // Run executes one configured simulation and returns its measurements.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// ctxCheckInterval is how many dispatched events pass between context
+// polls: small enough that cancellation lands within a fraction of a
+// millisecond of wall time, large enough that the poll never shows up in a
+// profile.
+const ctxCheckInterval = 4096
+
+// RunContext executes one configured simulation under ctx and returns its
+// measurements. Cancellation is polled from inside the event loop every few
+// thousand events; a cancelled run returns ctx.Err() promptly and discards
+// its partial state. A background (non-cancellable) context takes the exact
+// code path of Run, so reproducibility and the allocation-free hot path are
+// unaffected.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	s := &scenario{cfg: cfg, sched: sim.NewScheduler(cfg.Seed)}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &scenarioState{cfg: cfg, obs: cfg.Observer, sched: sim.NewScheduler(cfg.Seed)}
 	if err := s.build(); err != nil {
 		return nil, err
 	}
 	s.start()
-	s.sched.RunUntil(cfg.MaxSimTime)
+	if done := ctx.Done(); done != nil {
+		if err := s.sched.RunUntilWithCheck(cfg.MaxSimTime, ctxCheckInterval, ctx.Err); err != nil {
+			return nil, err
+		}
+	} else {
+		s.sched.RunUntil(cfg.MaxSimTime)
+	}
 
 	res := &Result{
 		Config:    cfg,
@@ -82,33 +108,26 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// build materializes topology, stacks and flows.
-func (s *scenario) build() error {
-	pts, flows, err := s.cfg.buildTopology(s.sched.Rand())
+// build materializes the scenario into stacks and flows.
+func (s *scenarioState) build() error {
+	scn := s.cfg.Scenario
+	pts, flows, err := scn.materialize(s.sched.Rand())
 	if err != nil {
 		return err
-	}
-	if s.cfg.Flows != nil {
-		flows = s.cfg.Flows
-	}
-	for _, f := range flows {
-		if int(f.Src) >= len(pts) || int(f.Dst) >= len(pts) || f.Src < 0 || f.Dst < 0 || f.Src == f.Dst {
-			return fmt.Errorf("core: invalid flow %d->%d for %d nodes", f.Src, f.Dst, len(pts))
-		}
 	}
 	s.positions = pts
 	s.flows = flows
 	s.perFlowPackets = make([]int64, len(flows))
 	s.lastRtx = make([]uint64, len(flows))
 
-	model, err := s.cfg.buildMobility(pts, flows, s.sched.Rand())
+	model, err := buildMobility(scn.Mobility, pts, flows, s.sched.Rand())
 	if err != nil {
 		return err
 	}
-	if s.cfg.Routing == RoutingStatic && !model.Static() {
-		return fmt.Errorf("core: static routing cannot follow moving nodes; use AODV with mobility")
+	if scn.Routing == RoutingStatic && !model.Static() {
+		return errStaticMobility
 	}
-	ch := phy.NewMobileChannel(s.sched, model, s.cfg.Mobility.UpdateInterval)
+	ch := phy.NewMobileChannel(s.sched, model, scn.Mobility.UpdateInterval)
 	ch.NoCapture = s.cfg.NoCapture
 	s.nodes = make([]*node.Node, len(pts))
 	s.routers = make([]*aodv.Router, len(pts))
@@ -120,19 +139,22 @@ func (s *scenario) build() error {
 	for i := range pts {
 		id := pkt.NodeID(i)
 		n := s.nodes[i]
-		switch s.cfg.Routing {
+		switch scn.Routing {
 		case RoutingAODV:
 			r := aodv.New(s.sched, id, n.MAC, &s.uids, aodv.Config{}, n.Deliver)
 			// Omniscient link oracle: lets the measurement layer tell
 			// genuine route breaks (hop moved away) from the paper's false
 			// route failures (contention on a healthy link).
 			r.LinkAlive = func(nh pkt.NodeID) bool { return ch.Reachable(id, nh) }
+			if s.obs != nil {
+				r.OnRouteFailure = func(falseFailure bool) { s.obs.OnRouteFailure(id, falseFailure) }
+			}
 			s.routers[i] = r
 			n.SetRouter(r)
 		case RoutingStatic:
 			n.SetRouter(aodv.NewStatic(id, n.MAC, pts, phy.TxRange, n.Deliver))
 		default:
-			return fmt.Errorf("core: unknown routing kind %d", s.cfg.Routing)
+			return errUnknownRouting(scn.Routing)
 		}
 	}
 
@@ -141,14 +163,10 @@ func (s *scenario) build() error {
 	s.sinks = make([]*tcp.Sink, len(flows))
 	s.udpSinks = make([]*udp.Sink, len(flows))
 	s.delay = stats.NewDurationHistogram(4096, s.sched.Rand().Int63n)
-	if s.cfg.PerFlowTransport != nil && len(s.cfg.PerFlowTransport) != len(flows) {
-		return fmt.Errorf("core: PerFlowTransport has %d entries for %d flows",
-			len(s.cfg.PerFlowTransport), len(flows))
-	}
 	for fi, f := range flows {
 		tspec := s.cfg.Transport
-		if s.cfg.PerFlowTransport != nil {
-			tspec = s.cfg.PerFlowTransport[fi]
+		if f.Transport.Protocol != 0 {
+			tspec = f.Transport
 		}
 		if err := s.buildFlow(fi, f, tspec); err != nil {
 			return err
@@ -158,16 +176,19 @@ func (s *scenario) build() error {
 }
 
 // buildFlow attaches one flow's transport endpoints.
-func (s *scenario) buildFlow(fi int, f FlowSpec, tspec TransportSpec) error {
+func (s *scenarioState) buildFlow(fi int, f Flow, tspec TransportSpec) error {
+	if err := tspec.validate(flowContext(fi), false); err != nil {
+		return err
+	}
 	src, dst := s.nodes[f.Src], s.nodes[f.Dst]
 	switch {
 	case tspec.Protocol.isTCP():
-		if tspec.AckThinning && tspec.DelayedAck {
-			return fmt.Errorf("core: flow %d: AckThinning and DelayedAck are mutually exclusive", fi)
-		}
 		tcfg := tcp.Config{
 			Alpha:     tspec.Alpha,
 			MaxWindow: tspec.MaxWindow,
+		}
+		if s.obs != nil {
+			tcfg.OnRetransmit = func() { s.obs.OnRetransmit(fi) }
 		}
 		var snd tcp.Sender
 		switch tspec.Protocol {
@@ -192,10 +213,7 @@ func (s *scenario) buildFlow(fi int, f FlowSpec, tspec TransportSpec) error {
 		dst.AttachTCPSink(fi, sink)
 		s.senders[fi] = snd
 		s.sinks[fi] = sink
-	case tspec.Protocol == ProtoPacedUDP:
-		if tspec.UDPGap <= 0 {
-			return fmt.Errorf("core: paced UDP needs UDPGap > 0")
-		}
+	default: // validate guarantees this is ProtoPacedUDP
 		usrc := udp.NewSender(s.sched, fi, f.Src, f.Dst, tspec.UDPGap, &s.uids, src.Output())
 		usink := udp.NewSink()
 		usink.Delay = s.delay
@@ -203,21 +221,19 @@ func (s *scenario) buildFlow(fi int, f FlowSpec, tspec TransportSpec) error {
 		dst.AttachUDPSink(fi, usink)
 		s.udpSrcs[fi] = usrc
 		s.udpSinks[fi] = usink
-	default:
-		return fmt.Errorf("core: unknown protocol %d", tspec.Protocol)
 	}
 	return nil
 }
 
-// start launches all flows with a small decorrelating jitter and opens the
-// first batch.
-func (s *scenario) start() {
+// start launches every flow at its start offset plus a small decorrelating
+// jitter and opens the first batch.
+func (s *scenarioState) start() {
 	s.cur = s.newBatch(0)
 	s.nextBatchAt = s.cfg.BatchPackets
 	for fi := range s.flows {
 		fi := fi
 		jitter := sim.Time(s.sched.Rand().Int63n(int64(10 * time.Millisecond)))
-		s.sched.At(jitter, func() {
+		s.sched.At(s.flows[fi].Start+jitter, func() {
 			if snd := s.senders[fi]; snd != nil {
 				snd.Start()
 			}
@@ -228,7 +244,7 @@ func (s *scenario) start() {
 	}
 }
 
-func (s *scenario) newBatch(start time.Duration) Batch {
+func (s *scenarioState) newBatch(start time.Duration) Batch {
 	return Batch{
 		Start:          start,
 		PerFlowPackets: make([]int64, len(s.flows)),
@@ -239,7 +255,7 @@ func (s *scenario) newBatch(start time.Duration) Batch {
 
 // onDelivery advances goodput accounting and closes batches at the paper's
 // packet-count boundaries.
-func (s *scenario) onDelivery(flow int, n int64) {
+func (s *scenarioState) onDelivery(flow int, n int64) {
 	s.delivered += n
 	s.perFlowPackets[flow] += n
 	s.cur.PerFlowPackets[flow] += n
@@ -255,7 +271,7 @@ func (s *scenario) onDelivery(flow int, n int64) {
 
 // closeBatch snapshots cumulative counters into the finished batch and
 // opens the next one.
-func (s *scenario) closeBatch() {
+func (s *scenarioState) closeBatch() {
 	now := s.sched.Now()
 	b := s.cur
 	b.End = now
@@ -292,10 +308,18 @@ func (s *scenario) closeBatch() {
 
 	s.batches = append(s.batches, b)
 	s.cur = s.newBatch(now)
+
+	if s.obs != nil {
+		for fi := range s.flows {
+			s.obs.OnWindowSample(fi, b.PerFlowWindow[fi])
+		}
+		s.obs.OnBatch(b)
+		s.obs.OnProgress(s.delivered, s.cfg.TotalPackets, now)
+	}
 }
 
 // fillEnergy computes the end-of-run energy report.
-func (s *scenario) fillEnergy(res *Result) {
+func (s *scenarioState) fillEnergy(res *Result) {
 	var total float64
 	for _, n := range s.nodes {
 		total += n.EnergyJoules(node.DefaultPower, res.SimTime)

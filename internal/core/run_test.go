@@ -9,9 +9,9 @@ import (
 
 // smallCfg returns a reduced-scale config for fast tests: 1100 packets in
 // batches of 100 (11 batches, 1 warm-up), same structure as the paper.
-func smallCfg(topo Topology, tspec TransportSpec) Config {
+func smallCfg(scn *Scenario, tspec TransportSpec) Config {
 	return Config{
-		Topology:     topo,
+		Scenario:     scn,
 		Bandwidth:    phy.Rate2Mbps,
 		Transport:    tspec,
 		Seed:         1,
@@ -151,8 +151,7 @@ func TestRunRandomTopology(t *testing.T) {
 }
 
 func TestRunStaticRoutingAblation(t *testing.T) {
-	cfg := smallCfg(Chain(4), TransportSpec{Protocol: ProtoVegas})
-	cfg.Routing = RoutingStatic
+	cfg := smallCfg(Chain(4).WithRouting(RoutingStatic), TransportSpec{Protocol: ProtoVegas})
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -216,15 +215,17 @@ func TestRunVegasBeatsNewRenoOnChain(t *testing.T) {
 }
 
 func TestRunConfigValidation(t *testing.T) {
-	if _, err := Run(Config{Topology: Topology{Kind: TopoChain}}); err == nil {
+	if _, err := Run(Config{Scenario: Chain(0), Transport: TransportSpec{Protocol: ProtoVegas}}); err == nil {
 		t.Error("zero-hop chain accepted")
+	}
+	if _, err := Run(Config{Transport: TransportSpec{Protocol: ProtoVegas}}); err == nil {
+		t.Error("nil scenario accepted")
 	}
 	cfg := smallCfg(Chain(2), TransportSpec{Protocol: ProtoPacedUDP})
 	if _, err := Run(cfg); err == nil {
 		t.Error("paced UDP without gap accepted")
 	}
-	bad := smallCfg(Chain(2), TransportSpec{Protocol: ProtoVegas})
-	bad.Flows = []FlowSpec{{Src: 0, Dst: 99}}
+	bad := smallCfg(Chain(2).WithFlows(Flow{Src: 0, Dst: 99}), TransportSpec{Protocol: ProtoVegas})
 	if _, err := Run(bad); err == nil {
 		t.Error("out-of-range flow accepted")
 	}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// wantError runs the config and asserts the error mentions every fragment,
+// so each validation path keeps a distinct, actionable message.
+func wantError(t *testing.T, cfg Config, fragments ...string) {
+	t.Helper()
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatalf("config accepted, want error mentioning %q", fragments)
+	}
+	for _, f := range fragments {
+		if !strings.Contains(err.Error(), f) {
+			t.Errorf("error %q does not mention %q", err, f)
+		}
+	}
+}
+
+func validChain() Config {
+	return Config{
+		Scenario:     Chain(2),
+		Transport:    TransportSpec{Protocol: ProtoVegas},
+		TotalPackets: 550,
+		BatchPackets: 50,
+	}
+}
+
+func TestValidateNilScenario(t *testing.T) {
+	cfg := validChain()
+	cfg.Scenario = nil
+	wantError(t, cfg, "Config.Scenario is nil")
+}
+
+func TestValidateEmptyScenario(t *testing.T) {
+	cfg := validChain()
+	cfg.Scenario = NewScenario("empty")
+	wantError(t, cfg, "no nodes", "AddNode")
+}
+
+func TestValidateScenarioWithoutFlows(t *testing.T) {
+	cfg := validChain()
+	scn := NewScenario("flowless")
+	scn.AddNode(0, 0)
+	scn.AddNode(200, 0)
+	cfg.Scenario = scn
+	wantError(t, cfg, "no flows", "AddFlow")
+}
+
+func TestValidateFlowReferencesNonexistentNode(t *testing.T) {
+	cfg := validChain()
+	cfg.Scenario = Chain(2).WithFlows(Flow{Src: 0, Dst: 99})
+	wantError(t, cfg, "references node", "3 nodes", "IDs 0..2")
+}
+
+func TestValidateSelfFlow(t *testing.T) {
+	cfg := validChain()
+	cfg.Scenario = Chain(2).WithFlows(Flow{Src: 1, Dst: 1})
+	wantError(t, cfg, "to itself")
+}
+
+func TestValidateNegativeFlowStart(t *testing.T) {
+	cfg := validChain()
+	cfg.Scenario = Chain(2).WithFlows(Flow{Src: 0, Dst: 2, Start: -time.Second})
+	wantError(t, cfg, "negative start time")
+}
+
+func TestValidatePacedUDPWithoutGap(t *testing.T) {
+	cfg := validChain()
+	cfg.Transport = TransportSpec{Protocol: ProtoPacedUDP}
+	wantError(t, cfg, "paced UDP needs UDPGap > 0")
+}
+
+func TestValidatePerFlowPacedUDPWithoutGap(t *testing.T) {
+	cfg := validChain()
+	cfg.Scenario = Chain(2).WithFlows(Flow{
+		Src: 0, Dst: 2, Transport: TransportSpec{Protocol: ProtoPacedUDP},
+	})
+	wantError(t, cfg, "flow 0", "paced UDP needs UDPGap > 0")
+}
+
+func TestValidateNegativeAlpha(t *testing.T) {
+	cfg := validChain()
+	cfg.Transport = TransportSpec{Protocol: ProtoVegas, Alpha: -1}
+	wantError(t, cfg, "negative Vegas Alpha -1")
+}
+
+func TestValidateNegativeMaxWindow(t *testing.T) {
+	cfg := validChain()
+	cfg.Transport = TransportSpec{Protocol: ProtoNewReno, MaxWindow: -3}
+	wantError(t, cfg, "negative MaxWindow -3")
+}
+
+func TestValidateNegativeUDPGap(t *testing.T) {
+	cfg := validChain()
+	cfg.Transport = TransportSpec{Protocol: ProtoPacedUDP, UDPGap: -time.Millisecond}
+	wantError(t, cfg, "negative UDPGap")
+}
+
+func TestValidateUnsetProtocol(t *testing.T) {
+	cfg := validChain()
+	cfg.Transport = TransportSpec{}
+	wantError(t, cfg, "no transport protocol set")
+}
+
+func TestValidateUnknownProtocol(t *testing.T) {
+	cfg := validChain()
+	cfg.Transport = TransportSpec{Protocol: Protocol(42)}
+	wantError(t, cfg, "unknown protocol 42")
+}
+
+func TestValidateExclusiveAckPolicies(t *testing.T) {
+	cfg := validChain()
+	cfg.Transport = TransportSpec{Protocol: ProtoNewReno, AckThinning: true, DelayedAck: true}
+	wantError(t, cfg, "AckThinning and DelayedAck are mutually exclusive")
+}
+
+func TestValidateNegativeBudget(t *testing.T) {
+	cfg := validChain()
+	cfg.TotalPackets = -1
+	wantError(t, cfg, "negative measurement budget")
+}
+
+func TestValidateRandomGenerator(t *testing.T) {
+	cfg := validChain()
+	cfg.Scenario = RandomField(1, 1000, 1000, 2)
+	wantError(t, cfg, "at least 2 nodes")
+
+	cfg.Scenario = RandomField(10, 0, 1000, 2)
+	wantError(t, cfg, "positive field")
+
+	cfg.Scenario = RandomField(10, 1000, 1000, 0)
+	wantError(t, cfg, "FlowCount >= 1")
+
+	cfg.Scenario = &Scenario{Generator: &GeneratorSpec{Kind: "hexlattice", Nodes: 10, Width: 1, Height: 1, FlowCount: 1}}
+	wantError(t, cfg, `unknown scenario generator kind "hexlattice"`)
+}
+
+// TestValidateGeneratorFlowAgainstGeneratorNodes pins that explicit flows
+// over a generator scenario are checked against the generated node count.
+func TestValidateGeneratorFlowAgainstGeneratorNodes(t *testing.T) {
+	cfg := validChain()
+	cfg.Scenario = RandomField(10, 1000, 1000, 2).WithFlows(Flow{Src: 0, Dst: 15})
+	wantError(t, cfg, "references node", "10 nodes")
+}
+
+func TestValidatePerFlowOptionsWithoutProtocol(t *testing.T) {
+	cfg := validChain()
+	cfg.Scenario = Chain(2).WithFlows(Flow{
+		Src: 0, Dst: 2, Transport: TransportSpec{AckThinning: true},
+	})
+	wantError(t, cfg, "flow 0 sets transport options without a Protocol")
+}

@@ -18,7 +18,7 @@ var rates = []phy.Rate{phy.Rate2Mbps, phy.Rate5_5Mbps, phy.Rate11Mbps}
 func rateLabel(r phy.Rate) string { return fmt.Sprintf("%g", float64(r)/1e6) }
 
 func chainCfg(hops int, rate phy.Rate, t core.TransportSpec) core.Config {
-	return core.Config{Topology: core.Chain(hops), Bandwidth: rate, Transport: t}
+	return core.Config{Scenario: core.Chain(hops), Bandwidth: rate, Transport: t}
 }
 
 // kbit converts bit/s to kbit/s.

@@ -168,33 +168,21 @@ func TestFig10FindsInteriorOptimum(t *testing.T) {
 	}
 }
 
-func TestHarnessCacheKeyStableAcrossEqualSlices(t *testing.T) {
-	// The old fmt-based key printed the backing-array addresses of
-	// Flows/PerFlowTransport, so two equal configs never matched. The key
-	// must be derived from values.
+func TestHarnessCacheKeyStableAcrossEqualScenarios(t *testing.T) {
+	// The cache key is derived from values, following the Scenario pointer
+	// into its nodes and flows: two independently built but equal
+	// scenarios must share one cached run.
 	mk := func() core.Config {
+		scn := core.Grid().WithFlows(
+			core.Flow{Src: 0, Dst: 13, Transport: core.TransportSpec{Protocol: core.ProtoVegas, Alpha: 2}},
+			core.Flow{Src: 7, Dst: 20, Transport: core.TransportSpec{Protocol: core.ProtoNewReno}},
+		)
 		return core.Config{
-			Topology:  core.Grid(),
+			Scenario:  scn,
 			Bandwidth: phy.Rate2Mbps,
 			Transport: core.TransportSpec{Protocol: core.ProtoVegas, Alpha: 2},
-			Flows:     []core.FlowSpec{{Src: 0, Dst: 13}, {Src: 7, Dst: 20}},
-			PerFlowTransport: []core.TransportSpec{
-				{Protocol: core.ProtoVegas, Alpha: 2},
-				{Protocol: core.ProtoNewReno},
-			},
 		}
 	}
-	a, b := mk(), mk()
-	if ka, kb := cfgKey(a), cfgKey(b); ka != kb {
-		t.Fatalf("equal configs with non-nil slices keyed differently:\n%s\nvs\n%s", ka, kb)
-	}
-	// Differing slice contents must key differently.
-	c := mk()
-	c.Flows[1].Dst = 19
-	if cfgKey(a) == cfgKey(c) {
-		t.Fatal("configs with different flows share a cache key")
-	}
-
 	h := NewHarness(BenchScale)
 	ra, err := h.Run(mk())
 	if err != nil {
@@ -205,7 +193,17 @@ func TestHarnessCacheKeyStableAcrossEqualSlices(t *testing.T) {
 		t.Fatal(err)
 	}
 	if ra != rb {
-		t.Error("equal configs carrying slices were not served from the cache")
+		t.Error("equal configs carrying distinct scenario pointers were not served from the cache")
+	}
+	// Differing flow sets must key differently.
+	c := mk()
+	c.Scenario.Flows[1].Dst = 19
+	rc, err := h.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc == ra {
+		t.Error("configs with different flows shared a cache entry")
 	}
 }
 

@@ -61,16 +61,19 @@ func Coexist(h *Harness) (*Figure, error) {
 		vegas, newreno, vegas,
 		newreno, vegas, newreno,
 	}
+	grid := core.Grid()
+	for i := range grid.Flows {
+		grid.Flows[i].Transport = perFlow[i]
+	}
 	isVegas := []bool{true, false, true, false, true, false}
 	var vSeries, nSeries Series
 	vSeries.Name = "Vegas group"
 	nSeries.Name = "NewReno group"
 	for _, r := range rates {
 		res, err := h.Run(core.Config{
-			Topology:         core.Grid(),
-			Bandwidth:        r,
-			Transport:        vegas, // base spec (overridden per flow)
-			PerFlowTransport: perFlow,
+			Scenario:  grid,
+			Bandwidth: r,
+			Transport: vegas, // base spec (every flow overrides it)
 		})
 		if err != nil {
 			return nil, err

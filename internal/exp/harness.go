@@ -1,57 +1,42 @@
 // Package exp regenerates every table and figure of the paper's evaluation
-// section. Each runner builds the parameter sweep, executes the runs (in
-// parallel, with a cache so figures sharing runs — e.g. Figures 6-9 — pay
-// for them once), and renders the series the paper plots.
+// section. Each runner builds the parameter sweep, executes the runs, and
+// renders the series the paper plots. The execution machinery — result
+// cache, bounded parallelism, scales, the optimal-UDP-gap search — is the
+// public manetsim.Campaign; this package is a thin client that adds only
+// the figure definitions.
 package exp
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
-	"runtime"
+	"context"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"manetsim"
 	"manetsim/internal/core"
-	"manetsim/internal/mac"
 	"manetsim/internal/phy"
-	"manetsim/internal/pkt"
 )
 
-// Scale sets the measurement budget. PaperScale replicates the paper's
-// methodology exactly; QuickScale keeps the same 11-batch structure at a
-// tenth of the packets for interactive use and CI.
-type Scale struct {
-	Name         string
-	TotalPackets int64
-	BatchPackets int64
-	Seed         int64
-}
+// Scale sets the measurement budget; it is the public campaign Scale.
+type Scale = manetsim.Scale
 
-// Predefined scales.
+// Predefined scales, re-exported for the experiment CLIs.
 var (
-	PaperScale = Scale{Name: "paper", TotalPackets: 110000, BatchPackets: 10000, Seed: 1}
-	QuickScale = Scale{Name: "quick", TotalPackets: 11000, BatchPackets: 1000, Seed: 1}
-	// BenchScale is for testing.B loops: tiny but structurally identical.
-	BenchScale = Scale{Name: "bench", TotalPackets: 2200, BatchPackets: 200, Seed: 1}
+	PaperScale = manetsim.PaperScale
+	QuickScale = manetsim.QuickScale
+	BenchScale = manetsim.BenchScale
 )
 
-// Harness executes figure runners with a shared, concurrency-safe result
-// cache.
+// Harness executes figure runners over a shared manetsim.Campaign, so
+// figures that overlap (e.g. Figures 6-9 plot different metrics of the
+// same runs) pay for each simulation once.
 type Harness struct {
 	Scale Scale
 	// Workers bounds parallel simulations (default GOMAXPROCS).
 	Workers int
 
-	mu    sync.Mutex
-	cache map[string]*cacheEntry
-	sem   chan struct{}
-	once  sync.Once
-
-	gapMu   sync.Mutex
-	gapMemo map[string]time.Duration
+	once sync.Once
+	c    *manetsim.Campaign
 }
 
 // NewHarness creates a harness at the given scale.
@@ -59,229 +44,31 @@ func NewHarness(scale Scale) *Harness {
 	return &Harness{Scale: scale}
 }
 
-func (h *Harness) init() {
+// Campaign returns the harness's shared campaign, creating it on first
+// use.
+func (h *Harness) Campaign() *manetsim.Campaign {
 	h.once.Do(func() {
-		if h.Workers <= 0 {
-			h.Workers = runtime.GOMAXPROCS(0)
-		}
-		h.sem = make(chan struct{}, h.Workers)
-		h.cache = make(map[string]*cacheEntry)
-		h.gapMemo = make(map[string]time.Duration)
+		h.c = manetsim.NewCampaign(h.Scale)
+		h.c.Workers = h.Workers
 	})
+	return h.c
 }
 
-// scaled applies the harness scale to a config.
-func (h *Harness) scaled(cfg core.Config) core.Config {
-	cfg.TotalPackets = h.Scale.TotalPackets
-	cfg.BatchPackets = h.Scale.BatchPackets
-	if cfg.Seed == 0 {
-		cfg.Seed = h.Scale.Seed
-	}
-	return cfg
-}
-
-// cfgKey derives the cache key from a config by encoding every field by
-// value. JSON encoding is deterministic (struct order, no map fields) and
-// follows slices like Flows/PerFlowTransport into their elements — unlike
-// the old fmt "%+v", which printed their backing-array addresses and so
-// never matched across runs.
-func cfgKey(cfg core.Config) string {
-	b, err := json.Marshal(cfg)
-	if err != nil {
-		// Config is a plain data struct; encoding cannot fail.
-		panic(fmt.Sprintf("exp: encoding config key: %v", err))
-	}
-	return string(b)
-}
-
-// errAborted marks work skipped because an earlier item in the same
-// fan-out already failed. It never escapes runParallel: the first real
-// error wins the error channel before the abort flag is raised.
-var errAborted = errors.New("exp: run skipped after an earlier failure")
-
-// runParallel is the shared fan-out: it executes work(i) for every i in
-// [0,n) on its own goroutine and returns the results in input order.
-// Bounding comes from withSlot inside the work functions, so cache hits
-// never wait for a worker slot.
-//
-// The first error returns immediately — the caller does not wait for the
-// remaining slots to drain. In-flight simulations cannot be preempted and
-// finish in the background (their cache entries stay valid), but queued
-// work that has not claimed a slot yet observes the abort flag and is
-// skipped.
-func (h *Harness) runParallel(n int, work func(i int, abort *atomic.Bool) (*core.Result, error)) ([]*core.Result, error) {
-	results := make([]*core.Result, n)
-	var (
-		abort atomic.Bool
-		wg    sync.WaitGroup
-	)
-	errc := make(chan error, 1)
-	for i := 0; i < n; i++ {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			res, err := work(i, &abort)
-			if err != nil {
-				// First real error wins the buffered slot; errAborted from
-				// skipped work arrives only after it, so it is always
-				// dropped here.
-				select {
-				case errc <- err:
-				default:
-				}
-				abort.Store(true)
-				return
-			}
-			results[i] = res
-		}()
-	}
-	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-	select {
-	case err := <-errc:
-		return nil, err
-	case <-done:
-		select {
-		case err := <-errc:
-			return nil, err
-		default:
-		}
-		return results, nil
-	}
-}
-
-// withSlot runs fn while holding one of the harness's worker slots. A
-// non-nil abort flag is re-checked once the slot is acquired: queued work
-// behind a failed sibling bails out without running.
-func (h *Harness) withSlot(abort *atomic.Bool, fn func() (*core.Result, error)) (*core.Result, error) {
-	h.sem <- struct{}{}
-	defer func() { <-h.sem }()
-	if abort != nil && abort.Load() {
-		return nil, errAborted
-	}
-	return fn()
-}
-
-// cacheEntry is one single-flight cache slot: the first caller for a key
-// executes the run, concurrent duplicates wait for it and share the
-// outcome; done is closed once res/err are set.
-type cacheEntry struct {
-	once sync.Once
-	done chan struct{}
-	res  *core.Result
-	err  error
-}
-
-func (e *cacheEntry) completed() bool {
-	select {
-	case <-e.done:
-		return true
-	default:
-		return false
-	}
-}
-
-// cachedRun executes one already-scaled config through the cache. Completed
-// entries return immediately without touching the worker semaphore. An
-// abort observed before the entry is claimed leaves it unclaimed, so a
-// later caller can still run it — aborts never poison the cache.
-func (h *Harness) cachedRun(cfg core.Config, abort *atomic.Bool) (*core.Result, error) {
-	key := cfgKey(cfg)
-	h.mu.Lock()
-	e := h.cache[key]
-	if e == nil {
-		e = &cacheEntry{done: make(chan struct{})}
-		h.cache[key] = e
-	}
-	h.mu.Unlock()
-	if e.completed() {
-		return e.res, e.err
-	}
-	return h.withSlot(abort, func() (*core.Result, error) {
-		e.once.Do(func() {
-			e.res, e.err = core.Run(cfg)
-			close(e.done)
-		})
-		return e.res, e.err
-	})
-}
-
-// Run executes one scaled config through the cache.
+// Run executes one scaled config through the campaign cache.
 func (h *Harness) Run(cfg core.Config) (*core.Result, error) {
-	h.init()
-	return h.cachedRun(h.scaled(cfg), nil)
+	return h.Campaign().Run(context.Background(), cfg)
 }
 
 // RunAll executes configs in parallel, preserving order and returning the
 // first failure without draining the rest of the sweep.
 func (h *Harness) RunAll(cfgs []core.Config) ([]*core.Result, error) {
-	h.init()
-	return h.runParallel(len(cfgs), func(i int, abort *atomic.Bool) (*core.Result, error) {
-		return h.cachedRun(h.scaled(cfgs[i]), abort)
-	})
+	return h.Campaign().RunAll(context.Background(), cfgs)
 }
 
-// OptimalUDPGap finds the paced-UDP inter-packet time that maximizes
-// goodput for a chain of the given hop count, following the paper's
-// procedure: start from the analytic 4-hop propagation delay and increase
-// t gradually, keeping the best measured goodput. Results are memoized.
+// OptimalUDPGap finds the goodput-maximizing paced-UDP inter-packet time
+// for a chain (memoized per harness).
 func (h *Harness) OptimalUDPGap(hops int, rate phy.Rate) (time.Duration, error) {
-	h.init()
-	key := fmt.Sprintf("%d@%v", hops, rate)
-	h.gapMu.Lock()
-	if g, ok := h.gapMemo[key]; ok {
-		h.gapMu.Unlock()
-		return g, nil
-	}
-	h.gapMu.Unlock()
-
-	t0 := mac.FourHopPropagationDelay(rate)
-	if hops < 4 {
-		// Short chains have no 4-hop pipelining: the whole chain is one
-		// contention domain, so start from the serial per-hop cost.
-		t0 = time.Duration(hops) * mac.NewTiming(rate).ExchangeTime(pkt.TCPDataSize)
-	}
-	var cfgs []core.Config
-	var gaps []time.Duration
-	for f := 1.0; f <= 1.8; f += 0.1 {
-		gap := time.Duration(float64(t0) * f).Round(100 * time.Microsecond)
-		gaps = append(gaps, gap)
-		cfg := core.Config{
-			Topology:  core.Chain(hops),
-			Bandwidth: rate,
-			Transport: core.TransportSpec{Protocol: core.ProtoPacedUDP, UDPGap: gap},
-			// The sweep uses a quarter of the budget per candidate.
-			TotalPackets: h.Scale.TotalPackets / 4,
-			BatchPackets: h.Scale.BatchPackets / 4,
-			Seed:         h.Scale.Seed,
-		}
-		if cfg.BatchPackets == 0 {
-			cfg.BatchPackets = cfg.TotalPackets / 11
-		}
-		cfgs = append(cfgs, cfg)
-	}
-	// Bypass the scale rewrite and the cache: these quarter-budget probe
-	// runs are keyed by the memo, not the result cache.
-	results, err := h.runParallel(len(cfgs), func(i int, abort *atomic.Bool) (*core.Result, error) {
-		return h.withSlot(abort, func() (*core.Result, error) { return core.Run(cfgs[i]) })
-	})
-	if err != nil {
-		return 0, err
-	}
-	best, bestG := gaps[0], -1.0
-	for i, res := range results {
-		if g := res.AggGoodput.Mean; g > bestG {
-			best, bestG = gaps[i], g
-		}
-	}
-	h.gapMu.Lock()
-	h.gapMemo[key] = best
-	h.gapMu.Unlock()
-	return best, nil
+	return h.Campaign().OptimalUDPGap(context.Background(), hops, rate)
 }
 
 // IDs returns the registered experiment identifiers in order.

@@ -33,16 +33,9 @@ var mobilityVariants = []struct {
 // quickly, and AODV's repair machinery — finally facing genuine route
 // breaks — gets continuously exercised.
 func mobilityCfg(maxSpeed float64, t core.TransportSpec) core.Config {
-	cfg := core.Config{
-		Topology:  core.Grid(),
-		Bandwidth: phy.Rate2Mbps,
-		Transport: t,
-		Flows:     []core.FlowSpec{{Src: 7, Dst: 13}},
-		// Guard against a rare long partition stalling the sweep.
-		MaxSimTime: 2 * time.Hour,
-	}
+	scn := core.Grid().WithFlows(core.Flow{Src: 7, Dst: 13})
 	if maxSpeed > 0 {
-		cfg.Mobility = core.MobilitySpec{
+		scn.Mobility = core.MobilitySpec{
 			Kind:     core.MobilityRandomWaypoint,
 			MaxSpeed: maxSpeed,
 			Pause:    2 * time.Second,
@@ -53,7 +46,13 @@ func mobilityCfg(maxSpeed float64, t core.TransportSpec) core.Config {
 			PinFlowEndpoints: true,
 		}
 	}
-	return cfg
+	return core.Config{
+		Scenario:  scn,
+		Bandwidth: phy.Rate2Mbps,
+		Transport: t,
+		// Guard against a rare long partition stalling the sweep.
+		MaxSimTime: 2 * time.Hour,
+	}
 }
 
 func speedLabel(v float64) string { return fmt.Sprintf("%g", v) }

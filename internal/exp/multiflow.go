@@ -20,13 +20,13 @@ var multiflowVariants = []struct {
 }
 
 // aggregateGoodputFigure renders Figures 16/18: aggregate goodput per
-// bandwidth and variant for a multiflow topology.
-func aggregateGoodputFigure(h *Harness, id, title string, topo core.Topology) (*Figure, error) {
+// bandwidth and variant for a multiflow scenario.
+func aggregateGoodputFigure(h *Harness, id, title string, scn *core.Scenario) (*Figure, error) {
 	f := &Figure{ID: id, Title: title, XLabel: "bandwidth [Mbit/s]", YLabel: "aggregate goodput [kbit/s]"}
 	for _, v := range multiflowVariants {
 		var cfgs []core.Config
 		for _, r := range rates {
-			cfgs = append(cfgs, core.Config{Topology: topo, Bandwidth: r, Transport: v.t})
+			cfgs = append(cfgs, core.Config{Scenario: scn, Bandwidth: r, Transport: v.t})
 		}
 		results, err := h.RunAll(cfgs)
 		if err != nil {
@@ -46,11 +46,11 @@ func aggregateGoodputFigure(h *Harness, id, title string, topo core.Topology) (*
 }
 
 // perFlowFigure renders Figures 17/19: per-flow goodput plus the aggregate
-// at 11 Mbit/s for a multiflow topology.
-func perFlowFigure(h *Harness, id, title string, topo core.Topology) (*Figure, error) {
+// at 11 Mbit/s for a multiflow scenario.
+func perFlowFigure(h *Harness, id, title string, scn *core.Scenario) (*Figure, error) {
 	f := &Figure{ID: id, Title: title, XLabel: "flow", YLabel: "goodput [kbit/s]"}
 	for _, v := range multiflowVariants {
-		res, err := h.Run(core.Config{Topology: topo, Bandwidth: phy.Rate11Mbps, Transport: v.t})
+		res, err := h.Run(core.Config{Scenario: scn, Bandwidth: phy.Rate11Mbps, Transport: v.t})
 		if err != nil {
 			return nil, err
 		}
@@ -66,12 +66,12 @@ func perFlowFigure(h *Harness, id, title string, topo core.Topology) (*Figure, e
 
 // jainTable renders Tables 3/4: Jain's fairness index with 95% confidence
 // intervals per bandwidth and variant.
-func jainTable(h *Harness, id, title string, topo core.Topology) (*Figure, error) {
+func jainTable(h *Harness, id, title string, scn *core.Scenario) (*Figure, error) {
 	f := &Figure{ID: id, Title: title, XLabel: "bandwidth [Mbit/s]", YLabel: "Jain's fairness index [95% CI]"}
 	for _, v := range multiflowVariants {
 		s := Series{Name: v.name}
 		for _, r := range rates {
-			res, err := h.Run(core.Config{Topology: topo, Bandwidth: r, Transport: v.t})
+			res, err := h.Run(core.Config{Scenario: scn, Bandwidth: r, Transport: v.t})
 			if err != nil {
 				return nil, err
 			}

@@ -115,7 +115,10 @@ func Ablation(h *Harness) (*Figure, error) {
 	variants := []variant{
 		{"default (capture+AODV)", func(c core.Config) core.Config { return c }},
 		{"no capture", func(c core.Config) core.Config { c.NoCapture = true; return c }},
-		{"static routes", func(c core.Config) core.Config { c.Routing = core.RoutingStatic; return c }},
+		{"static routes", func(c core.Config) core.Config {
+			c.Scenario = c.Scenario.Clone().WithRouting(core.RoutingStatic)
+			return c
+		}},
 	}
 	for _, proto := range []core.TransportSpec{
 		{Protocol: core.ProtoVegas, Alpha: 2},

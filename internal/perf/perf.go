@@ -187,7 +187,7 @@ func BenchEndToEndBenchScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		res, err = core.Run(core.Config{
-			Topology:     core.Chain(8),
+			Scenario:     core.Chain(8),
 			Bandwidth:    phy.Rate2Mbps,
 			Transport:    core.TransportSpec{Protocol: core.ProtoVegas},
 			Seed:         scale.Seed,

@@ -232,6 +232,36 @@ func (s *Scheduler) RunUntil(deadline Time) {
 	}
 }
 
+// RunUntilWithCheck runs like RunUntil but invokes check() before the first
+// event and then once every `every` dispatched events. A non-nil error from
+// check aborts the run immediately (the clock stays wherever it was) and is
+// returned. It exists so a driver can poll an external cancellation signal
+// — e.g. a context — without the per-event cost landing on runs that have
+// nothing to poll: callers with no signal keep using RunUntil.
+func (s *Scheduler) RunUntilWithCheck(deadline Time, every uint64, check func() error) error {
+	if every == 0 {
+		every = 1
+	}
+	s.stopped = false
+	var n uint64
+	for !s.stopped {
+		if len(s.heap) == 0 || s.heap[0].at > deadline {
+			break
+		}
+		if n%every == 0 {
+			if err := check(); err != nil {
+				return err
+			}
+		}
+		n++
+		s.Step()
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+	return nil
+}
+
 // The queue is a 4-ary min-heap ordered by (time, creation sequence). The
 // wider fan-out halves the tree depth against a binary heap, and sift
 // operations touch concrete *Event values — no interface dispatch, no

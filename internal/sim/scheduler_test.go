@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -314,5 +315,58 @@ func TestTimerResetAt(t *testing.T) {
 	s.Run()
 	if at != 17*time.Millisecond {
 		t.Errorf("fired at %v, want 17ms", at)
+	}
+}
+
+func TestRunUntilWithCheckMatchesRunUntil(t *testing.T) {
+	build := func() *Scheduler {
+		s := NewScheduler(1)
+		for i := 1; i <= 10; i++ {
+			i := i
+			s.At(Time(i)*time.Millisecond, func() {
+				if i%2 == 0 {
+					s.After(500*time.Microsecond, func() {})
+				}
+			})
+		}
+		return s
+	}
+	a := build()
+	a.RunUntil(20 * time.Millisecond)
+	b := build()
+	if err := b.RunUntilWithCheck(20*time.Millisecond, 3, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if a.Now() != b.Now() || a.Dispatched() != b.Dispatched() {
+		t.Errorf("checked run diverged: now %v/%v, dispatched %d/%d",
+			a.Now(), b.Now(), a.Dispatched(), b.Dispatched())
+	}
+}
+
+func TestRunUntilWithCheckAborts(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	for i := 1; i <= 100; i++ {
+		s.At(Time(i)*time.Millisecond, func() { fired++ })
+	}
+	boom := errors.New("cancelled")
+	calls := 0
+	err := s.RunUntilWithCheck(time.Second, 10, func() error {
+		calls++
+		if calls == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Checks run every 10 events: the third check happens after 20
+	// dispatches, before event 21 fires.
+	if fired != 20 {
+		t.Errorf("fired %d events before abort, want 20", fired)
+	}
+	if s.Now() >= time.Second {
+		t.Error("clock advanced to the deadline despite the abort")
 	}
 }

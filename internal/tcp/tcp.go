@@ -38,6 +38,11 @@ type Config struct {
 	Alpha int
 	Beta  int
 	Gamma int
+
+	// OnRetransmit, if set, observes every transport retransmission as it
+	// is (re)sent. Left nil on measurement-only runs so the hot path pays
+	// a single predictable branch.
+	OnRetransmit func()
 }
 
 func (c Config) withDefaults() Config {
@@ -216,6 +221,9 @@ func (b *base) transmit(seq int64) {
 	b.stats.DataSent++
 	if isRtx {
 		b.stats.Retransmits++
+		if b.cfg.OnRetransmit != nil {
+			b.cfg.OnRetransmit()
+		}
 	}
 	if !b.rtxTimer.Pending() {
 		b.rtxTimer.Reset(b.currentRTO())

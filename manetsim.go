@@ -1,36 +1,59 @@
-// Package manetsim simulates TCP over static multihop IEEE 802.11 wireless
-// networks. It reproduces the evaluation of ElRakabawy, Lindemann & Vernon,
-// "Improving TCP Performance for Multihop Wireless Networks" (DSN 2005):
-// TCP Vegas versus TCP NewReno, with and without dynamic ACK thinning,
-// against an optimally paced UDP reference, over chain, grid and random
-// topologies routed by AODV at 2, 5.5 and 11 Mbit/s.
+// Package manetsim is a discrete-event simulator of TCP over multihop
+// IEEE 802.11 wireless networks. It grew out of reproducing ElRakabawy,
+// Lindemann & Vernon, "Improving TCP Performance for Multihop Wireless
+// Networks" (DSN 2005) — TCP Vegas versus TCP NewReno, with and without
+// dynamic ACK thinning, against an optimally paced UDP reference — and now
+// exposes the full engine as a general scenario/observer/campaign API.
 //
-// The simulator is a from-scratch discrete-event implementation of the full
-// stack the paper depends on: an IEEE 802.11 DCF MAC with RTS/CTS, NAV,
-// EIFS and binary exponential backoff; a threshold wireless channel with
-// two-ray-ground capture; AODV with the link-failure behaviour that causes
-// the paper's "false route failures"; packet-granularity TCP NewReno and
-// Vegas; and receiver-side ACK thinning.
+// The simulator models the complete stack at packet granularity: an IEEE
+// 802.11 DCF MAC with RTS/CTS, NAV, EIFS and binary exponential backoff; a
+// threshold wireless channel with two-ray-ground capture; AODV with the
+// link-failure behaviour that causes the paper's "false route failures";
+// packet-granularity TCP NewReno, Vegas, Reno and Tahoe; receiver-side ACK
+// thinning; and random waypoint mobility.
 //
-// # Quick start
+// # Scenarios
 //
-//	res, err := manetsim.Run(manetsim.Config{
-//	    Topology:  manetsim.Chain(7),
-//	    Bandwidth: manetsim.Rate2Mbps,
-//	    Transport: manetsim.TransportSpec{Protocol: manetsim.Vegas},
-//	    Seed:      1,
-//	})
+// A Scenario is the network under test: explicit node placement, an
+// arbitrary flow set with per-flow transports and start times, and the
+// scenario-level routing and mobility choices. The paper's three
+// topologies are constructors — Chain, Grid, Random — and custom networks
+// compose from NewScenario/AddNode/AddFlow:
+//
+//	scn := manetsim.NewScenario("cross")
+//	a := scn.AddNode(0, 200)
+//	b := scn.AddNode(400, 200)
+//	scn.AddFlow(a, b)
+//
+// # Runs
+//
+// Run executes one scenario under a context, with functional options for
+// the run-level knobs:
+//
+//	res, err := manetsim.Run(ctx, manetsim.Chain(7),
+//	    manetsim.WithTransport(manetsim.TransportSpec{Protocol: manetsim.Vegas}),
+//	    manetsim.WithSeed(1))
 //	if err != nil { ... }
 //	fmt.Printf("goodput: %.0f kbit/s\n", res.AggGoodput.Mean/1e3)
 //
-// Runs are deterministic per seed. The default measurement methodology
-// matches the paper: run until 110000 packets are delivered, split into
-// batches of 10000, discard the first, and report batch means with 95%
-// confidence intervals. Reduced-scale runs (for CI or interactive use) set
-// TotalPackets/BatchPackets accordingly.
+// Runs are deterministic per seed and safe to execute concurrently. An
+// Observer (attached with WithObserver) streams batch closes, classified
+// route failures, transport retransmissions, window samples and progress
+// out of a run; with no observer attached the hot path stays
+// allocation-free. The default measurement methodology matches the paper:
+// run until 110000 packets are delivered, split into batches of 10000,
+// discard the first, and report batch means with 95% confidence intervals.
+//
+// # Campaigns
+//
+// A Campaign executes parameter studies: it deduplicates identical runs
+// through a single-flight cache, bounds parallelism, applies a common
+// Scale, and aggregates seed replications into confidence intervals. See
+// Campaign.Sweep for declarative protocol x rate x scenario x seed grids.
 package manetsim
 
 import (
+	"context"
 	"time"
 
 	"manetsim/internal/core"
@@ -39,7 +62,7 @@ import (
 	"manetsim/internal/stats"
 )
 
-// NodeID identifies a node in a scenario.
+// NodeID identifies a node in a scenario (its index in the placement).
 type NodeID = pkt.NodeID
 
 // Channel bit rates of IEEE 802.11b as evaluated in the paper.
@@ -65,25 +88,41 @@ const (
 // Protocol selects the transport variant.
 type Protocol = core.Protocol
 
-// TransportSpec configures the transport layer of all flows in a run.
+// TransportSpec configures the transport layer of a flow (or the run-wide
+// default passed via WithTransport).
 type TransportSpec = core.TransportSpec
 
-// Topology describes node placement and the default flow set.
-type Topology = core.Topology
+// Scenario describes the network under test: node placement, flows with
+// per-flow transports and start times, routing and mobility.
+type Scenario = core.Scenario
+
+// Flow is one transport connection of a scenario.
+type Flow = core.Flow
+
+// Position is a node location in meters.
+type Position = core.Position
+
+// NewScenario returns an empty named scenario to populate with
+// AddNode/AddFlow.
+func NewScenario(name string) *Scenario { return core.NewScenario(name) }
 
 // Chain returns an h-hop chain of 200 m spaced nodes with a single flow
-// from end to end.
-func Chain(hops int) Topology { return core.Chain(hops) }
+// from end to end — the paper's first topology.
+func Chain(hops int) *Scenario { return core.Chain(hops) }
 
-// Grid returns the paper's 21-node grid with six crossing FTP flows.
-func Grid() Topology { return core.Grid() }
+// Grid returns the paper's 21-node grid with its six crossing FTP flows.
+func Grid() *Scenario { return core.Grid() }
 
 // Random returns the paper's 120-node random topology (2500x1000 m²) with
-// ten random flows.
-func Random() Topology { return core.Random() }
+// ten random flows, drawn from the run's seed.
+func Random() *Scenario { return core.Random() }
 
-// FlowSpec is one transport connection between two nodes.
-type FlowSpec = core.FlowSpec
+// RandomField returns a seed-synthesized random topology: n nodes placed
+// uniformly on a width x height meter field with the given number of
+// random flows.
+func RandomField(n int, width, height float64, flows int) *Scenario {
+	return core.RandomField(n, width, height, flows)
+}
 
 // Routing substrates.
 const (
@@ -108,8 +147,10 @@ type MobilityKind = core.MobilityKind
 // range, pause time, field bounds, endpoint pinning).
 type MobilitySpec = core.MobilitySpec
 
-// Config describes one simulation run; zero fields take the paper's
-// defaults (2 Mbit/s, 110000 packets in batches of 10000, AODV, α=2).
+// Config is the full description of one run: the scenario plus run-level
+// knobs. Run assembles one from its options; campaign sweeps and advanced
+// callers may build Configs directly and execute them with RunConfig or
+// Campaign.RunAll.
 type Config = core.Config
 
 // Result carries all measurements of a run with batch-means confidence
@@ -119,7 +160,7 @@ type Result = core.Result
 // Batch holds the raw per-batch measurements.
 type Batch = core.Batch
 
-// Estimate is a batch-means point estimate with a 95% confidence interval.
+// Estimate is a point estimate with a 95% confidence interval.
 type Estimate = stats.Estimate
 
 // EnergyReport summarizes radio energy consumption of a run.
@@ -128,10 +169,33 @@ type EnergyReport = core.EnergyReport
 // DelaySummary reports end-to-end packet latency quantiles of a run.
 type DelaySummary = core.DelaySummary
 
-// Run executes one simulation and returns its measurements. It is safe to
-// call concurrently from multiple goroutines (each run is self-contained);
-// experiment harnesses exploit this to sweep parameters in parallel.
-func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+// Observer receives run events (batch closes, classified route failures,
+// transport retransmissions, window samples, progress) synchronously from
+// the event loop. Attach one with WithObserver.
+type Observer = core.Observer
+
+// ObserverFuncs adapts optional callbacks to the Observer interface; nil
+// fields are skipped.
+type ObserverFuncs = core.ObserverFuncs
+
+// Run executes one scenario under ctx and returns its measurements. A
+// cancelled context aborts the run promptly and returns ctx.Err(). It is
+// safe to call concurrently from multiple goroutines (each run is
+// self-contained); Campaign exploits this to sweep parameters in parallel.
+func Run(ctx context.Context, scn *Scenario, opts ...Option) (*Result, error) {
+	cfg := Config{Scenario: scn}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.RunContext(ctx, cfg)
+}
+
+// RunConfig executes one fully specified Config under ctx. Most callers
+// want Run; RunConfig exists for harnesses that assemble Configs
+// declaratively.
+func RunConfig(ctx context.Context, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, cfg)
+}
 
 // FourHopPropagationDelay returns the paper's Table 2 value for a given
 // rate: the minimal link-layer delay for a TCP data packet to advance four

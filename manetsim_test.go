@@ -1,19 +1,18 @@
 package manetsim
 
 import (
+	"context"
 	"testing"
 	"time"
 )
 
 func TestPublicAPIRun(t *testing.T) {
-	res, err := Run(Config{
-		Topology:     Chain(3),
-		Bandwidth:    Rate2Mbps,
-		Transport:    TransportSpec{Protocol: Vegas},
-		Seed:         1,
-		TotalPackets: 1100,
-		BatchPackets: 100,
-	})
+	res, err := Run(context.Background(), Chain(3),
+		WithBandwidth(Rate2Mbps),
+		WithTransport(TransportSpec{Protocol: Vegas}),
+		WithSeed(1),
+		WithPackets(1100, 100),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,6 +21,34 @@ func TestPublicAPIRun(t *testing.T) {
 	}
 	if res.AggGoodput.Mean <= 0 {
 		t.Error("zero goodput through the public API")
+	}
+}
+
+func TestPublicAPICustomScenario(t *testing.T) {
+	// A topology the paper never evaluated: a 3-node vee with two flows of
+	// different transports converging on one sink, the second starting
+	// late.
+	scn := NewScenario("vee")
+	left := scn.AddNode(0, 0)
+	right := scn.AddNode(400, 0)
+	sink := scn.AddNode(200, 100)
+	scn.Add(Flow{Src: left, Dst: sink, Transport: TransportSpec{Protocol: Vegas}})
+	scn.Add(Flow{Src: right, Dst: sink, Transport: TransportSpec{Protocol: NewReno}, Start: 2 * time.Second})
+	res, err := Run(context.Background(), scn,
+		WithSeed(1),
+		WithPackets(1100, 100),
+		WithMaxSimTime(time.Hour),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerFlowGood) != 2 {
+		t.Fatalf("per-flow results = %d, want 2", len(res.PerFlowGood))
+	}
+	for i, est := range res.PerFlowGood {
+		if est.Mean <= 0 {
+			t.Errorf("flow %d: zero goodput", i)
+		}
 	}
 }
 
@@ -54,26 +81,81 @@ func TestPublicAPIExchangeTime(t *testing.T) {
 }
 
 func TestPublicAPITopologies(t *testing.T) {
-	for name, topo := range map[string]Topology{
+	for name, scn := range map[string]*Scenario{
 		"chain":  Chain(2),
 		"grid":   Grid(),
 		"random": Random(),
 	} {
-		cfg := Config{
-			Topology:     topo,
-			Transport:    TransportSpec{Protocol: NewReno},
-			Seed:         3,
-			TotalPackets: 550,
-			BatchPackets: 50,
-			MaxSimTime:   30 * time.Minute,
-		}
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), scn,
+			WithTransport(TransportSpec{Protocol: NewReno}),
+			WithSeed(3),
+			WithPackets(550, 50),
+			WithMaxSimTime(30*time.Minute),
+		)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if res.Delivered == 0 {
 			t.Errorf("%s: nothing delivered", name)
 		}
+	}
+}
+
+func TestPublicAPIObserver(t *testing.T) {
+	var batches, windows int
+	var lastDelivered int64
+	res, err := Run(context.Background(), Chain(3),
+		WithTransport(TransportSpec{Protocol: Vegas}),
+		WithSeed(1),
+		WithPackets(1100, 100),
+		WithObserver(ObserverFuncs{
+			Batch:        func(b Batch) { batches++ },
+			WindowSample: func(flow int, w float64) { windows++ },
+			Progress:     func(delivered, total int64, _ time.Duration) { lastDelivered = delivered },
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches < 11 {
+		t.Errorf("observed %d batch closes, want >= 11", batches)
+	}
+	if windows != batches {
+		t.Errorf("window samples = %d, want one per batch (%d) for the single flow", windows, batches)
+	}
+	if lastDelivered < 1100 {
+		t.Errorf("last progress reported %d delivered, want >= 1100", lastDelivered)
+	}
+	if res.Delivered < 1100 {
+		t.Errorf("delivered = %d", res.Delivered)
+	}
+}
+
+func TestPublicAPIObserverDoesNotChangeResults(t *testing.T) {
+	run := func(obs Observer) *Result {
+		t.Helper()
+		opts := []Option{
+			WithTransport(TransportSpec{Protocol: NewReno}),
+			WithSeed(5),
+			WithPackets(1100, 100),
+		}
+		if obs != nil {
+			opts = append(opts, WithObserver(obs))
+		}
+		res, err := Run(context.Background(), Chain(4), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	observed := run(ObserverFuncs{
+		Retransmit:   func(int) {},
+		RouteFailure: func(NodeID, bool) {},
+	})
+	if plain.AggGoodput.Mean != observed.AggGoodput.Mean || plain.SimTime != observed.SimTime {
+		t.Errorf("observer changed the simulation: %v/%v vs %v/%v",
+			plain.AggGoodput.Mean, plain.SimTime, observed.AggGoodput.Mean, observed.SimTime)
 	}
 }
 

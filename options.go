@@ -1,0 +1,55 @@
+package manetsim
+
+import "time"
+
+// Option tunes one run-level knob of a simulation. Options apply over the
+// paper's defaults: 2 Mbit/s, 110000 packets in batches of 10000, one
+// warm-up batch discarded, seed 0, 24h simulated-time bound.
+type Option func(*Config)
+
+// WithBandwidth sets the channel bit rate (Rate2Mbps, Rate5_5Mbps or
+// Rate11Mbps).
+func WithBandwidth(r Rate) Option {
+	return func(c *Config) { c.Bandwidth = r }
+}
+
+// WithTransport sets the default TransportSpec for every flow that does
+// not carry its own.
+func WithTransport(t TransportSpec) Option {
+	return func(c *Config) { c.Transport = t }
+}
+
+// WithSeed sets the random seed; runs are deterministic per seed.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithPackets sets the measurement budget: deliver total packets split
+// into batches of batch (0 batch = total/11, the paper's 11-batch
+// structure).
+func WithPackets(total, batch int64) Option {
+	return func(c *Config) { c.TotalPackets, c.BatchPackets = total, batch }
+}
+
+// WithWarmupBatches sets how many leading batches are discarded before
+// aggregation (default 1, the paper's methodology).
+func WithWarmupBatches(n int) Option {
+	return func(c *Config) { c.WarmupBatches = n }
+}
+
+// WithMaxSimTime bounds the simulated time; a run that cannot reach its
+// packet target by then returns with Result.Truncated set.
+func WithMaxSimTime(d time.Duration) Option {
+	return func(c *Config) { c.MaxSimTime = d }
+}
+
+// WithObserver attaches an Observer to the run.
+func WithObserver(o Observer) Option {
+	return func(c *Config) { c.Observer = o }
+}
+
+// WithoutCapture disables the PHY's 10 dB capture rule (ablation: any
+// overlapping signal within interference range corrupts receptions).
+func WithoutCapture() Option {
+	return func(c *Config) { c.NoCapture = true }
+}
