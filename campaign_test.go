@@ -215,13 +215,13 @@ func TestCampaignSweepAggregatesSeeds(t *testing.T) {
 	}
 	for _, cell := range cells {
 		if len(cell.Runs) != 3 {
-			t.Fatalf("%s: runs = %d, want 3 replicates", cell.Transport.Name(), len(cell.Runs))
+			t.Fatalf("%s: runs = %d, want 3 replicates", cell.Transport.Label(), len(cell.Runs))
 		}
 		if cell.Goodput.N != 3 {
-			t.Errorf("%s: goodput estimate over %d replicates, want 3", cell.Transport.Name(), cell.Goodput.N)
+			t.Errorf("%s: goodput estimate over %d replicates, want 3", cell.Transport.Label(), cell.Goodput.N)
 		}
 		if cell.Goodput.Mean <= 0 {
-			t.Errorf("%s: zero goodput", cell.Transport.Name())
+			t.Errorf("%s: zero goodput", cell.Transport.Label())
 		}
 		for i, r := range cell.Runs {
 			if r.Config.Seed != cell.Seeds[i] {

@@ -7,7 +7,10 @@
 //	manetsim -topology chain -hops 7 -protocol vegas -bandwidth 2
 //	manetsim -topology grid -protocol newreno -thinning -bandwidth 11
 //	manetsim -topology chain -hops 7 -protocol udp -gap 36ms
+//	manetsim -topology chain -hops 7 -protocol westwood
+//	manetsim -topology chain -hops 7 -protocol pacing -cov-weight 3
 //	manetsim -topology random -protocol vegas -packets 110000 -batch 10000
+//	manetsim -list-transports
 //
 //	manetsim bench -json                      # run suite, write BENCH_<date>.json
 //	go test -bench=. ./internal/perf | manetsim bench -parse -out ci.json
@@ -33,12 +36,18 @@ func main() {
 	var (
 		topology  = flag.String("topology", "chain", "topology: chain, grid, random")
 		hops      = flag.Int("hops", 7, "chain length in hops")
-		protocol  = flag.String("protocol", "vegas", "transport: vegas, newreno, reno, tahoe, udp")
+		protocol  = flag.String("protocol", "vegas", "transport by registry name (see -list-transports)")
+		listTr    = flag.Bool("list-transports", false, "print the transport registry and exit")
 		thinning  = flag.Bool("thinning", false, "enable dynamic ACK thinning (TCP)")
 		delack    = flag.Bool("delack", false, "enable standard RFC 1122 delayed ACKs (TCP)")
-		alpha     = flag.Int("alpha", 2, "Vegas alpha=beta=gamma threshold [packets]")
+		alpha     = flag.Int("alpha", 2, "Vegas alpha threshold [packets]")
+		beta      = flag.Int("beta", 0, "Vegas beta threshold [packets]; 0 = alpha")
+		gamma     = flag.Int("gamma", 0, "Vegas gamma slow-start exit threshold [packets]; 0 = alpha")
 		maxWin    = flag.Int("maxwin", 0, "artificial window bound (NewReno optimal window); 0 = off")
 		gap       = flag.Duration("gap", 36*time.Millisecond, "paced UDP inter-packet time")
+		bwGain    = flag.Float64("bw-gain", 0, "Westwood+ bandwidth filter pole in (0,1); 0 = default 0.9")
+		covWeight = flag.Float64("cov-weight", 0, "adaptive pacing RTT-variability weight; 0 = default 2")
+		paceFloor = flag.Duration("pace-floor", 0, "adaptive pacing minimum inter-packet gap; 0 = default 1ms")
 		bandwidth = flag.Float64("bandwidth", 2, "channel bandwidth in Mbit/s: 2, 5.5 or 11")
 		seed      = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
 		packets   = flag.Int64("packets", 11000, "packets to deliver (paper: 110000)")
@@ -58,6 +67,11 @@ func main() {
 		progress     = flag.Bool("progress", false, "stream per-batch progress while the run executes")
 	)
 	flag.Parse()
+
+	if *listTr {
+		listTransports()
+		return
+	}
 
 	var scn *manetsim.Scenario
 	switch strings.ToLower(*topology) {
@@ -81,20 +95,28 @@ func main() {
 	default:
 		fatalf("bandwidth must be 2, 5.5 or 11 (Mbit/s)")
 	}
-	var tspec manetsim.TransportSpec
-	switch strings.ToLower(*protocol) {
+	// Any registered transport is selectable by name; the per-variant
+	// flags fold into the spec and irrelevant ones are ignored by the
+	// variant (paced UDP keeps its dedicated -gap wiring).
+	name := strings.ToLower(*protocol)
+	tspec := manetsim.TransportSpec{
+		Name:        name,
+		AckThinning: *thinning,
+		DelayedAck:  *delack,
+		MaxWindow:   *maxWin,
+		Params: manetsim.Params{
+			Beta:         *beta,
+			Gamma:        *gamma,
+			BWFilterGain: *bwGain,
+			CoVWeight:    *covWeight,
+			MinPaceGap:   *paceFloor,
+		},
+	}
+	switch name {
 	case "vegas":
-		tspec = manetsim.TransportSpec{Protocol: manetsim.Vegas, Alpha: *alpha, AckThinning: *thinning, DelayedAck: *delack}
-	case "newreno":
-		tspec = manetsim.TransportSpec{Protocol: manetsim.NewReno, AckThinning: *thinning, DelayedAck: *delack, MaxWindow: *maxWin}
-	case "reno":
-		tspec = manetsim.TransportSpec{Protocol: manetsim.Reno, AckThinning: *thinning, DelayedAck: *delack}
-	case "tahoe":
-		tspec = manetsim.TransportSpec{Protocol: manetsim.Tahoe, AckThinning: *thinning, DelayedAck: *delack}
-	case "udp":
-		tspec = manetsim.TransportSpec{Protocol: manetsim.PacedUDP, UDPGap: *gap}
-	default:
-		fatalf("unknown protocol %q", *protocol)
+		tspec.Alpha = *alpha
+	case "udp", "pacedudp":
+		tspec = manetsim.TransportSpec{Name: name, UDPGap: *gap}
 	}
 	if *static {
 		scn.WithRouting(manetsim.RoutingStatic)
@@ -140,7 +162,7 @@ func main() {
 	}
 
 	fmt.Printf("%s over %s at %.1f Mbit/s (seed %d): goodput %.1f kbit/s (±%.1f)\n",
-		tspec.Name(), *topology, *bandwidth, *seed,
+		tspec.Label(), *topology, *bandwidth, *seed,
 		res.AggGoodput.Mean/1e3, res.AggGoodput.HalfCI/1e3)
 	if *quiet {
 		return
@@ -164,6 +186,18 @@ func main() {
 	}
 	if res.Truncated {
 		fmt.Println("  WARNING: run truncated by MaxSimTime before reaching the packet target")
+	}
+}
+
+// listTransports prints the transport registry, one variant per line.
+func listTransports() {
+	fmt.Println("registered transports (select with -protocol <name>):")
+	for _, info := range manetsim.Transports() {
+		name := info.Name
+		if len(info.Aliases) > 0 {
+			name += " (" + strings.Join(info.Aliases, ", ") + ")"
+		}
+		fmt.Printf("  %-26s %s\n", name, info.Description)
 	}
 }
 

@@ -95,9 +95,59 @@ func ExampleCampaign_Sweep() {
 	}
 	for _, cell := range cells {
 		fmt.Printf("%s @ %g Mbit/s: %.0f kbit/s ±%.0f (Jain %.2f)\n",
-			cell.Transport.Name(), float64(cell.Rate)/1e6,
+			cell.Transport.Label(), float64(cell.Rate)/1e6,
 			cell.Goodput.Mean/1e3, cell.Goodput.HalfCI/1e3, cell.Jain.Mean)
 	}
+}
+
+// aimdHalf is a deliberately tiny congestion control: additive increase,
+// halve on any loss signal. Embedding CCBase supplies Init/OnStart/
+// OnRTTSample/Window; the strategy drives the shared engine — which owns
+// sequence accounting, the RTO machinery and retransmission — through its
+// exported methods.
+type aimdHalf struct {
+	manetsim.CCBase
+}
+
+func (c *aimdHalf) OnAck(a manetsim.Ack) {
+	e := c.Engine()
+	if !a.NoEcho {
+		e.SampleRTT(e.Now() - a.Echo)
+	}
+	e.AdvanceAck(a.Seq)
+	e.SetWindow(e.Window() + 1/e.Window()) // additive increase
+}
+
+func (c *aimdHalf) OnDupAck(manetsim.Ack) {
+	e := c.Engine()
+	e.SetWindow(e.Window() / 2)
+	e.Retransmit(e.AckNext())
+}
+
+func (c *aimdHalf) OnTimeout() {
+	e := c.Engine()
+	e.SetWindow(e.Window() / 2)
+	e.BackoffRTO()
+	e.RestartRTOTimer()
+}
+
+// RegisterTransport makes a custom congestion-control strategy selectable
+// by name everywhere a TransportSpec goes: Run options, per-flow specs,
+// Campaign sweeps and cmd/manetsim -protocol.
+func ExampleRegisterTransport() {
+	manetsim.RegisterTransport("aimd-half", func(manetsim.TransportSpec) (manetsim.CongestionControl, error) {
+		return &aimdHalf{}, nil
+	})
+
+	res, err := manetsim.Run(context.Background(), manetsim.Chain(3),
+		manetsim.WithTransport(manetsim.TransportSpec{Name: "aimd-half"}),
+		manetsim.WithSeed(1),
+		manetsim.WithPackets(1100, 100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aimd-half delivered %d packets\n", res.Delivered)
+	// Output: aimd-half delivered 1100 packets
 }
 
 // Cancellation propagates into the event loop: a deadline or cancel stops

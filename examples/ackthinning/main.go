@@ -58,7 +58,7 @@ func main() {
 	fmt.Println("7-hop chain: goodput [kbit/s] with and without ACK thinning")
 	fmt.Printf("%-12s", "")
 	for _, t := range transports {
-		fmt.Printf("%14s", t.Name())
+		fmt.Printf("%14s", t.Label())
 	}
 	fmt.Println()
 	for ri, r := range rates {

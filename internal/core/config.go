@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"manetsim/internal/geo"
@@ -40,11 +41,6 @@ var protoNames = map[Protocol]string{
 	ProtoTahoe:    "Tahoe",
 }
 
-// isTCP reports whether the protocol is window-based.
-func (p Protocol) isTCP() bool {
-	return p == ProtoVegas || p == ProtoNewReno || p == ProtoReno || p == ProtoTahoe
-}
-
 func (p Protocol) String() string {
 	if s, ok := protoNames[p]; ok {
 		return s
@@ -52,26 +48,77 @@ func (p Protocol) String() string {
 	return fmt.Sprintf("proto(%d)", int(p))
 }
 
+// Params carries the optional per-variant transport parameters. The zero
+// value of every field selects the variant's default, so specs only spell
+// out what they change; fields irrelevant to the selected transport are
+// ignored.
+type Params struct {
+	// Beta and Gamma override the Vegas β and γ thresholds in packets.
+	// Both default to α (the spec's Alpha field): the paper fixes
+	// α = β = γ, but Brakmo's original α < β band is expressible here.
+	Beta  int `json:",omitempty"`
+	Gamma int `json:",omitempty"`
+	// BWFilterGain is the Westwood+ bandwidth-estimate low-pass pole in
+	// (0,1): how much of the previous estimate survives each
+	// once-per-RTT sample (default 0.9).
+	BWFilterGain float64 `json:",omitempty"`
+	// CoVWeight scales how strongly the adaptive-pacing sender stretches
+	// its inter-packet gap under RTT variability: the pacing interval is
+	// (srtt + CoVWeight·rttvar)/cwnd (default 2).
+	CoVWeight float64 `json:",omitempty"`
+	// MinPaceGap floors the adaptive pacing interval and seeds it before
+	// the first RTT sample (default 1ms).
+	MinPaceGap time.Duration `json:",omitempty"`
+}
+
 // TransportSpec configures the transport layer of a flow (or, as
 // Config.Transport, the default for every flow that does not set its own).
+// A spec selects its variant either by registry Name (any transport,
+// including ones added with RegisterCC) or by the legacy Protocol
+// constant, which resolves through the registry too.
 type TransportSpec struct {
+	// Name selects a registered transport by name (case-insensitive),
+	// e.g. "vegas", "westwood", "pacing". When empty, Protocol selects
+	// the variant instead.
+	Name string `json:",omitempty"`
+
 	Protocol    Protocol
 	AckThinning bool // Altman-Jiménez dynamic delayed ACKs (TCP only)
 	DelayedAck  bool // standard RFC 1122 delayed ACKs (TCP only)
 	// Alpha is the Vegas α=β=γ threshold in packets (default 2).
 	Alpha int
-	// MaxWindow bounds the NewReno window ("NewReno Optimal Window";
+	// MaxWindow bounds the congestion window ("NewReno Optimal Window";
 	// paper finds MaxWin=3 optimal for the 7-hop chain). 0 = unbounded.
 	MaxWindow int
 	// UDPGap is the paced-UDP inter-packet interval (required for
 	// ProtoPacedUDP).
 	UDPGap time.Duration
+
+	// Params carries the variant-specific tuning knobs (Vegas β/γ,
+	// Westwood+ filter gain, adaptive-pacing shape).
+	Params Params
 }
 
-// Name renders the spec the way the paper labels its curves.
-func (t TransportSpec) Name() string {
-	s := t.Protocol.String()
-	if t.Protocol == ProtoVegas && t.Alpha != 0 && t.Alpha != 2 {
+// IsZero reports whether the spec is entirely unset. A zero per-flow spec
+// inherits the run default; anything else — a Name, a Protocol, or bare
+// options — replaces it.
+func (t TransportSpec) IsZero() bool { return t == TransportSpec{} }
+
+// selected reports whether the spec names a transport at all (by registry
+// name or legacy protocol constant).
+func (t TransportSpec) selected() bool { return t.Name != "" || t.Protocol != 0 }
+
+// Label renders the spec the way the paper labels its curves.
+func (t TransportSpec) Label() string {
+	s := t.Name
+	proto := t.Protocol
+	if tr, err := resolveTransport(t); err == nil {
+		s = tr.label
+		proto = tr.proto
+	} else if s == "" {
+		s = t.Protocol.String()
+	}
+	if proto == ProtoVegas && t.Alpha != 0 && t.Alpha != 2 {
 		s = fmt.Sprintf("%s(α=%d)", s, t.Alpha)
 	}
 	if t.MaxWindow > 0 {
@@ -87,20 +134,34 @@ func (t TransportSpec) Name() string {
 }
 
 // validate reports misconfigurations with the field spelled out so sweep
-// failures point at the offending spec. allowZero accepts an unset
-// Protocol (a per-flow spec inheriting the run default).
+// failures point at the offending spec. allowZero accepts a spec that
+// selects no transport (a per-flow spec inheriting the run default).
 func (t TransportSpec) validate(where string, allowZero bool) error {
-	if t.Protocol == 0 {
+	if !t.selected() {
 		if allowZero {
 			return nil
 		}
-		return fmt.Errorf("core: %s: no transport protocol set (choose Vegas, NewReno, PacedUDP, Reno or Tahoe)", where)
+		return fmt.Errorf("core: %s: no transport protocol set (set Name to a registered transport — e.g. %s — or a Protocol constant)",
+			where, strings.Join(transportNames(), ", "))
 	}
-	if _, ok := protoNames[t.Protocol]; !ok {
-		return fmt.Errorf("core: %s: unknown protocol %d", where, int(t.Protocol))
+	tr, err := resolveTransport(t)
+	if err != nil {
+		return fmt.Errorf("%v (%s)", err, where)
 	}
 	if t.Alpha < 0 {
 		return fmt.Errorf("core: %s: negative Vegas Alpha %d (threshold is in packets, >= 0)", where, t.Alpha)
+	}
+	if t.Params.Beta < 0 || t.Params.Gamma < 0 {
+		return fmt.Errorf("core: %s: negative Vegas threshold (Beta=%d, Gamma=%d; packets, >= 0)", where, t.Params.Beta, t.Params.Gamma)
+	}
+	if t.Params.BWFilterGain < 0 {
+		return fmt.Errorf("core: %s: negative BWFilterGain %g", where, t.Params.BWFilterGain)
+	}
+	if t.Params.CoVWeight < 0 {
+		return fmt.Errorf("core: %s: negative CoVWeight %g", where, t.Params.CoVWeight)
+	}
+	if t.Params.MinPaceGap < 0 {
+		return fmt.Errorf("core: %s: negative MinPaceGap %v", where, t.Params.MinPaceGap)
 	}
 	if t.MaxWindow < 0 {
 		return fmt.Errorf("core: %s: negative MaxWindow %d (0 means unbounded)", where, t.MaxWindow)
@@ -108,11 +169,11 @@ func (t TransportSpec) validate(where string, allowZero bool) error {
 	if t.UDPGap < 0 {
 		return fmt.Errorf("core: %s: negative UDPGap %v", where, t.UDPGap)
 	}
-	if t.Protocol == ProtoPacedUDP && t.UDPGap == 0 {
-		return fmt.Errorf("core: %s: paced UDP needs UDPGap > 0 (the inter-packet sending interval)", where)
-	}
 	if t.AckThinning && t.DelayedAck {
 		return fmt.Errorf("core: %s: AckThinning and DelayedAck are mutually exclusive", where)
+	}
+	if tr.check != nil {
+		return tr.check(t, where)
 	}
 	return nil
 }

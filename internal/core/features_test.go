@@ -146,13 +146,24 @@ func TestRunLongChainEstablishesRoute(t *testing.T) {
 }
 
 func TestProtocolPredicates(t *testing.T) {
+	// Every legacy Protocol constant resolves through the registry; the
+	// window-based ones carry a strategy factory, paced UDP a raw
+	// endpoint builder.
 	for _, p := range []Protocol{ProtoVegas, ProtoNewReno, ProtoReno, ProtoTahoe} {
-		if !p.isTCP() {
-			t.Errorf("%v should be TCP", p)
+		tr, err := resolveTransport(TransportSpec{Protocol: p})
+		if err != nil {
+			t.Fatalf("%v does not resolve: %v", p, err)
+		}
+		if tr.newCC == nil {
+			t.Errorf("%v should be a window-based (engine) transport", p)
 		}
 	}
-	if ProtoPacedUDP.isTCP() {
-		t.Error("UDP classified as TCP")
+	udp, err := resolveTransport(TransportSpec{Protocol: ProtoPacedUDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if udp.newCC != nil || udp.build == nil {
+		t.Error("paced UDP should be a raw-endpoint transport, not an engine one")
 	}
 	if ProtoReno.String() != "Reno" || ProtoTahoe.String() != "Tahoe" {
 		t.Error("protocol names wrong")

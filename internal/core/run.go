@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"manetsim/internal/aodv"
@@ -165,7 +166,7 @@ func (s *scenarioState) build() error {
 	s.delay = stats.NewDurationHistogram(4096, s.sched.Rand().Int63n)
 	for fi, f := range flows {
 		tspec := s.cfg.Transport
-		if f.Transport.Protocol != 0 {
+		if !f.Transport.IsZero() {
 			tspec = f.Transport
 		}
 		if err := s.buildFlow(fi, f, tspec); err != nil {
@@ -175,53 +176,42 @@ func (s *scenarioState) build() error {
 	return nil
 }
 
-// buildFlow attaches one flow's transport endpoints.
+// buildFlow attaches one flow's transport endpoints, resolving the spec
+// through the transport registry: window-based variants share the engine
+// and sink wiring, raw transports (paced UDP) attach their own endpoints.
 func (s *scenarioState) buildFlow(fi int, f Flow, tspec TransportSpec) error {
 	if err := tspec.validate(flowContext(fi), false); err != nil {
 		return err
 	}
-	src, dst := s.nodes[f.Src], s.nodes[f.Dst]
-	switch {
-	case tspec.Protocol.isTCP():
-		tcfg := tcp.Config{
-			Alpha:     tspec.Alpha,
-			MaxWindow: tspec.MaxWindow,
-		}
-		if s.obs != nil {
-			tcfg.OnRetransmit = func() { s.obs.OnRetransmit(fi) }
-		}
-		var snd tcp.Sender
-		switch tspec.Protocol {
-		case ProtoVegas:
-			snd = tcp.NewVegas(s.sched, tcfg, fi, f.Src, f.Dst, &s.uids, src.Output())
-		case ProtoNewReno:
-			snd = tcp.NewNewReno(s.sched, tcfg, fi, f.Src, f.Dst, &s.uids, src.Output())
-		case ProtoReno:
-			snd = tcp.NewReno1990(s.sched, tcfg, fi, f.Src, f.Dst, &s.uids, src.Output())
-		case ProtoTahoe:
-			snd = tcp.NewTahoe(s.sched, tcfg, fi, f.Src, f.Dst, &s.uids, src.Output())
-		}
-		policy := tcp.AckEveryPacket
-		if tspec.AckThinning {
-			policy = tcp.AckThinning
-		} else if tspec.DelayedAck {
-			policy = tcp.AckDelayed
-		}
-		sink := tcp.NewSink(s.sched, fi, f.Dst, f.Src, policy, &s.uids, dst.Output())
-		sink.Delay = s.delay
-		src.AttachTCPSender(fi, snd)
-		dst.AttachTCPSink(fi, sink)
-		s.senders[fi] = snd
-		s.sinks[fi] = sink
-	default: // validate guarantees this is ProtoPacedUDP
-		usrc := udp.NewSender(s.sched, fi, f.Src, f.Dst, tspec.UDPGap, &s.uids, src.Output())
-		usink := udp.NewSink()
-		usink.Delay = s.delay
-		usink.Now = s.sched.Now
-		dst.AttachUDPSink(fi, usink)
-		s.udpSrcs[fi] = usrc
-		s.udpSinks[fi] = usink
+	tr, err := resolveTransport(tspec)
+	if err != nil {
+		return err
 	}
+	if tr.build != nil {
+		return tr.build(s, fi, f, tspec)
+	}
+	src, dst := s.nodes[f.Src], s.nodes[f.Dst]
+	tcfg := ccConfig(tspec)
+	if s.obs != nil {
+		tcfg.OnRetransmit = func() { s.obs.OnRetransmit(fi) }
+	}
+	cc, err := tr.newCC(tspec)
+	if err != nil {
+		return fmt.Errorf("core: %s (%s): %w", tr.name, flowContext(fi), err)
+	}
+	snd := tcp.NewEngine(s.sched, tcfg, fi, f.Src, f.Dst, &s.uids, src.Output(), cc)
+	policy := tcp.AckEveryPacket
+	if tspec.AckThinning {
+		policy = tcp.AckThinning
+	} else if tspec.DelayedAck {
+		policy = tcp.AckDelayed
+	}
+	sink := tcp.NewSink(s.sched, fi, f.Dst, f.Src, policy, &s.uids, dst.Output())
+	sink.Delay = s.delay
+	src.AttachTCPSender(fi, snd)
+	dst.AttachTCPSink(fi, sink)
+	s.senders[fi] = snd
+	s.sinks[fi] = sink
 	return nil
 }
 

@@ -223,10 +223,10 @@ func (s *Scenario) Validate() error {
 		if f.Start < 0 {
 			return fmt.Errorf("core: flow %d has negative start time %v", i, f.Start)
 		}
-		if f.Transport.Protocol == 0 && f.Transport != (TransportSpec{}) {
+		if !f.Transport.selected() && !f.Transport.IsZero() {
 			// A per-flow spec replaces the run default entirely; options on
-			// a protocol-less spec would otherwise be silently discarded.
-			return fmt.Errorf("core: flow %d sets transport options without a Protocol; a per-flow TransportSpec replaces the run default entirely (set Protocol too, or leave the whole spec zero to inherit)", i)
+			// a variant-less spec would otherwise be silently discarded.
+			return fmt.Errorf("core: flow %d sets transport options without a Protocol or Name; a per-flow TransportSpec replaces the run default entirely (select a transport too, or leave the whole spec zero to inherit)", i)
 		}
 		if err := f.Transport.validate(fmt.Sprintf("flow %d", i), true); err != nil {
 			return err

@@ -25,6 +25,10 @@ var updateGolden = flag.Bool("update-golden", false,
 var goldenFigureHashes = map[string]string{
 	"tcpvariants": "7827fcfcc0ac55c8ae7554b1ce38c663b485f906edf484efddab4f3f1cc767d0",
 	"mobility":    "abde1198f1c7fbee787875e619e5e699221ce468e690fa2ebc0b603d9f607a0f",
+	"transports":  "7cffe7a9699cb8430b54516307f300064a2645146de092400e73df000705de24",
+	// ccextensions pins the Westwood+ and adaptive-pacing variants (and
+	// name-based registry resolution) from the moment they shipped.
+	"ccextensions": "4909cbde9d1a9dbdad42436825b237de9b799a2d7eab2bdf9f006dd9383dd540",
 }
 
 // figureDigest canonicalizes a figure through JSON (struct-ordered, no

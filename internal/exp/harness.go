@@ -88,31 +88,33 @@ func Lookup(id string) (func(h *Harness) (*Figure, error), bool) {
 }
 
 var registry = map[string]func(h *Harness) (*Figure, error){
-	"table2":      Table2,
-	"fig2":        Fig2,
-	"fig3":        Fig3,
-	"fig4":        Fig4,
-	"fig5":        Fig5,
-	"fig6":        Fig6,
-	"fig7":        Fig7,
-	"fig8":        Fig8,
-	"fig9":        Fig9,
-	"fig10":       Fig10,
-	"fig11":       Fig11,
-	"fig12":       Fig12,
-	"fig13":       Fig13,
-	"fig14":       Fig14,
-	"fig16":       Fig16,
-	"fig17":       Fig17,
-	"table3":      Table3,
-	"fig18":       Fig18,
-	"fig19":       Fig19,
-	"table4":      Table4,
-	"energy":      Energy,
-	"ablation":    Ablation,
-	"tcpvariants": TCPVariants,
-	"coexist":     Coexist,
-	"latency":     Latency,
-	"optwindow":   OptWindow,
-	"mobility":    Mobility,
+	"table2":       Table2,
+	"fig2":         Fig2,
+	"fig3":         Fig3,
+	"fig4":         Fig4,
+	"fig5":         Fig5,
+	"fig6":         Fig6,
+	"fig7":         Fig7,
+	"fig8":         Fig8,
+	"fig9":         Fig9,
+	"fig10":        Fig10,
+	"fig11":        Fig11,
+	"fig12":        Fig12,
+	"fig13":        Fig13,
+	"fig14":        Fig14,
+	"fig16":        Fig16,
+	"fig17":        Fig17,
+	"table3":       Table3,
+	"fig18":        Fig18,
+	"fig19":        Fig19,
+	"table4":       Table4,
+	"energy":       Energy,
+	"ablation":     Ablation,
+	"tcpvariants":  TCPVariants,
+	"transports":   Transports,
+	"ccextensions": CCExtensions,
+	"coexist":      Coexist,
+	"latency":      Latency,
+	"optwindow":    OptWindow,
+	"mobility":     Mobility,
 }

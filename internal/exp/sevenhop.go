@@ -124,7 +124,7 @@ func Ablation(h *Harness) (*Figure, error) {
 		{Protocol: core.ProtoVegas, Alpha: 2},
 		{Protocol: core.ProtoNewReno},
 	} {
-		s := Series{Name: proto.Name()}
+		s := Series{Name: proto.Label()}
 		for _, v := range variants {
 			res, err := h.Run(v.cfg(chainCfg(8, phy.Rate2Mbps, proto)))
 			if err != nil {
@@ -132,7 +132,7 @@ func Ablation(h *Harness) (*Figure, error) {
 			}
 			s.Points = append(s.Points, Point{X: v.x, Y: kbit(res.AggGoodput.Mean)})
 			f.Notes = append(f.Notes, fmt.Sprintf("%s / %s: rtx=%.4f frf=%d drop=%.4f",
-				proto.Name(), v.x, res.Rtx.Mean, res.FalseRouteFailures, res.DropProb.Mean))
+				proto.Label(), v.x, res.Rtx.Mean, res.FalseRouteFailures, res.DropProb.Mean))
 		}
 		f.Series = append(f.Series, s)
 	}

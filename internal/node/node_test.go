@@ -34,7 +34,7 @@ func buildStack(t *testing.T, hops int) (*sim.Scheduler, []*Node, *pkt.UIDSource
 func TestTCPFlowOverStack(t *testing.T) {
 	sched, nodes, uids := buildStack(t, 2)
 	src, dst := nodes[0], nodes[2]
-	snd := tcp.NewNewReno(sched, tcp.Config{}, 0, 0, 2, uids, src.Output())
+	snd := tcp.NewEngine(sched, tcp.Config{}, 0, 0, 2, uids, src.Output(), tcp.NewNewRenoCC())
 	sink := tcp.NewSink(sched, 0, 2, 0, tcp.AckEveryPacket, uids, dst.Output())
 	src.AttachTCPSender(0, snd)
 	dst.AttachTCPSink(0, sink)
@@ -75,8 +75,8 @@ func TestDemuxSeparatesFlows(t *testing.T) {
 	sinkB := tcp.NewSink(sched, 1, 1, 0, tcp.AckEveryPacket, uids, nodes[1].Output())
 	nodes[1].AttachTCPSink(0, sinkA)
 	nodes[1].AttachTCPSink(1, sinkB)
-	sndA := tcp.NewNewReno(sched, tcp.Config{}, 0, 0, 1, uids, nodes[0].Output())
-	sndB := tcp.NewNewReno(sched, tcp.Config{}, 1, 0, 1, uids, nodes[0].Output())
+	sndA := tcp.NewEngine(sched, tcp.Config{}, 0, 0, 1, uids, nodes[0].Output(), tcp.NewNewRenoCC())
+	sndB := tcp.NewEngine(sched, tcp.Config{}, 1, 0, 1, uids, nodes[0].Output(), tcp.NewNewRenoCC())
 	nodes[0].AttachTCPSender(0, sndA)
 	nodes[0].AttachTCPSender(1, sndB)
 	sched.At(0, sndA.Start)
@@ -113,7 +113,7 @@ func TestRouterRequired(t *testing.T) {
 
 func TestEnergyAccounting(t *testing.T) {
 	sched, nodes, uids := buildStack(t, 1)
-	snd := tcp.NewNewReno(sched, tcp.Config{}, 0, 0, 1, uids, nodes[0].Output())
+	snd := tcp.NewEngine(sched, tcp.Config{}, 0, 0, 1, uids, nodes[0].Output(), tcp.NewNewRenoCC())
 	sink := tcp.NewSink(sched, 0, 1, 0, tcp.AckEveryPacket, uids, nodes[1].Output())
 	nodes[0].AttachTCPSender(0, snd)
 	nodes[1].AttachTCPSink(0, sink)

@@ -1,97 +1,66 @@
 package tcp
 
-import (
-	"manetsim/internal/pkt"
-	"manetsim/internal/sim"
-)
-
-// NewRenoSender implements TCP NewReno congestion control (RFC 3782 as in
+// NewRenoCC implements TCP NewReno congestion control (RFC 3782 as in
 // ns-2's Agent/TCP/Newreno): slow start, congestion avoidance, fast
 // retransmit after three duplicate ACKs, and NewReno fast recovery with
 // partial-ACK retransmission.
-type NewRenoSender struct {
-	*base
+type NewRenoCC struct {
+	CCBase
 	ssthresh   float64
+	dupacks    int
 	inRecovery bool
 	recover    int64 // highest sequence outstanding when loss was detected
 }
 
-var _ Sender = (*NewRenoSender)(nil)
+var _ CongestionControl = (*NewRenoCC)(nil)
 
-// NewNewReno constructs a NewReno sender for one flow.
-func NewNewReno(sched *sim.Scheduler, cfg Config, flow int, src, dst pkt.NodeID, uids *pkt.UIDSource, out Output) *NewRenoSender {
-	s := &NewRenoSender{ssthresh: 64}
-	s.base = newBase(sched, cfg, flow, src, dst, uids, out)
-	if cfg.withDefaults().Wmax < int(s.ssthresh) {
-		s.ssthresh = float64(cfg.withDefaults().Wmax)
-	}
-	s.rtxTimer = sim.NewTimer(sched, s.onRTO)
-	s.onTimeout = s.onRTO
-	return s
+// NewNewRenoCC returns the NewReno congestion-control strategy.
+func NewNewRenoCC() *NewRenoCC { return &NewRenoCC{} }
+
+// Init binds the engine and seeds ssthresh at the receiver window.
+func (s *NewRenoCC) Init(e *Engine) {
+	s.CCBase.Init(e)
+	s.ssthresh = s.InitialSSThresh()
 }
 
-// Start begins the transfer.
-func (s *NewRenoSender) Start() {
-	s.setCwnd(float64(s.cfg.Winit))
-	s.sendUpTo()
-}
-
-// HandleAck processes a cumulative acknowledgment.
-func (s *NewRenoSender) HandleAck(p *pkt.Packet) {
-	if p.TCP == nil {
-		return
-	}
-	s.stats.AcksSeen++
-	ack := p.TCP.Ack
-	if ack > s.ackNext {
-		s.onNewAck(p, ack)
-	} else if s.ackNext < s.nextSeq {
-		// Pure duplicate with data outstanding.
-		s.onDupAck()
-	}
-	s.sendUpTo()
-}
-
-func (s *NewRenoSender) onNewAck(p *pkt.Packet, ack int64) {
-	newlyAcked := s.ackAdvance(ack)
-	if !p.TCP.NoEcho {
-		s.sampleRTT(s.sched.Now() - p.TCP.SentAt)
+// OnAck processes a cumulative acknowledgment that advances the window.
+func (s *NewRenoCC) OnAck(a Ack) {
+	e := s.e
+	newlyAcked := e.AdvanceAck(a.Seq)
+	if !a.NoEcho {
+		e.SampleRTT(e.Now() - a.Echo)
 	}
 
 	if s.inRecovery {
-		if ack > s.recover {
+		if a.Seq > s.recover {
 			// Full ACK: leave fast recovery, deflate to ssthresh.
 			s.inRecovery = false
 			s.dupacks = 0
-			s.setCwnd(s.ssthresh)
+			e.SetWindow(s.ssthresh)
 		} else {
 			// Partial ACK: the next hole is lost too — retransmit it,
 			// deflate by the amount acked, stay in recovery (RFC 3782).
-			s.transmit(ack)
-			w := s.cwnd - float64(newlyAcked) + 1
+			e.Retransmit(a.Seq)
+			w := e.Window() - float64(newlyAcked) + 1
 			if w < 1 {
 				w = 1
 			}
-			s.setCwnd(w)
+			e.SetWindow(w)
 		}
 		return
 	}
 	s.dupacks = 0
 	// Window growth: slow start below ssthresh, else congestion avoidance.
-	for i := int64(0); i < newlyAcked; i++ {
-		if s.cwnd < s.ssthresh {
-			s.setCwnd(s.cwnd + 1)
-		} else {
-			s.setCwnd(s.cwnd + 1/s.cwnd)
-		}
-	}
+	s.GrowAIMD(newlyAcked, s.ssthresh)
 }
 
-func (s *NewRenoSender) onDupAck() {
-	s.stats.DupAcks++
+// OnDupAck counts duplicates toward fast retransmit and inflates the
+// window during recovery.
+func (s *NewRenoCC) OnDupAck(Ack) {
+	e := s.e
 	if s.inRecovery {
 		// Window inflation per extra duplicate.
-		s.setCwnd(s.cwnd + 1)
+		e.SetWindow(e.Window() + 1)
 		return
 	}
 	s.dupacks++
@@ -99,36 +68,29 @@ func (s *NewRenoSender) onDupAck() {
 		return
 	}
 	// Fast retransmit + NewReno fast recovery.
-	s.stats.FastRecov++
+	e.CountFastRecovery()
 	s.inRecovery = true
-	s.recover = s.nextSeq - 1
-	s.ssthresh = s.cwnd / 2
+	s.recover = e.NextSeq() - 1
+	s.ssthresh = e.Window() / 2
 	if s.ssthresh < 2 {
 		s.ssthresh = 2
 	}
-	s.setCwnd(s.ssthresh + 3)
-	s.transmit(s.ackNext)
+	e.SetWindow(s.ssthresh + 3)
+	e.Retransmit(e.AckNext())
 }
 
-// onRTO handles a retransmission timeout: shrink to Winit, back off the
-// timer, and slow start again.
-func (s *NewRenoSender) onRTO() {
-	if s.ackNext >= s.nextSeq {
-		return // nothing outstanding
-	}
-	s.stats.Timeouts++
-	flight := float64(s.nextSeq - s.ackNext)
+// OnTimeout handles a retransmission timeout: shrink to Winit, back off
+// the timer, and slow start again. The engine then goes back N.
+func (s *NewRenoCC) OnTimeout() {
+	e := s.e
+	flight := float64(e.InFlight())
 	s.ssthresh = flight / 2
 	if s.ssthresh < 2 {
 		s.ssthresh = 2
 	}
 	s.inRecovery = false
 	s.dupacks = 0
-	s.growBackoff()
-	s.setCwnd(float64(s.cfg.Winit))
-	s.rtxTimer.Reset(s.currentRTO())
-	// Go back N: resume transmission from the first unacked packet, as
-	// BSD/ns-2 TCP does (snd_nxt pulled back to the highest ACK).
-	s.nextSeq = s.ackNext
-	s.sendUpTo()
+	e.BackoffRTO()
+	e.SetWindow(float64(e.Config().Winit))
+	e.RestartRTOTimer()
 }

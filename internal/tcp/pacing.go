@@ -1,0 +1,115 @@
+package tcp
+
+import "time"
+
+// PacingCC implements a rate-based adaptive-pacing sender in the spirit
+// of TCP-AP (ElRakabawy, Klemm & Lindemann): the congestion window still
+// bounds the amount of outstanding data, but transmissions leave the
+// sender spaced by an adaptive interval instead of the ACK-clocked bursts
+// that cause multihop self-interference — the burst of back-to-back
+// packets chasing each other down the chain is exactly what inflates the
+// paper's link-layer drop probability.
+//
+// The pacing interval spreads the window over the RTT and stretches under
+// RTT variability (the sender-side signal of MAC contention ahead):
+//
+//	gap = (srtt + CoVWeight·rttvar) / cwnd
+//
+// floored at Config.MinPaceGap, which also seeds the interval before the
+// first RTT sample. Window evolution is standard AIMD with fast
+// retransmit (Reno-style, single-loss recovery); the pacing layer lives
+// in the engine (Engine.EnablePacing), so the strategy only supplies the
+// interval and the window policy.
+type PacingCC struct {
+	CCBase
+	ssthresh   float64
+	dupacks    int
+	inRecovery bool
+}
+
+var _ CongestionControl = (*PacingCC)(nil)
+
+// NewPacingCC returns the adaptive-pacing congestion-control strategy.
+func NewPacingCC() *PacingCC { return &PacingCC{} }
+
+// Init binds the engine, seeds ssthresh, and switches the engine to paced
+// transmission.
+func (s *PacingCC) Init(e *Engine) {
+	s.CCBase.Init(e)
+	s.ssthresh = s.InitialSSThresh()
+	e.EnablePacing(s.gap)
+}
+
+// gap returns the current inter-packet pacing interval.
+func (s *PacingCC) gap() time.Duration {
+	e := s.e
+	floor := e.Config().MinPaceGap
+	srtt := e.SRTT()
+	if srtt == 0 {
+		return floor
+	}
+	w := e.Window()
+	if ew := float64(e.effectiveWindow()); ew < w {
+		w = ew
+	}
+	g := time.Duration((float64(srtt) + e.Config().CoVWeight*float64(e.RTTVar())) / w)
+	if g < floor {
+		g = floor
+	}
+	return g
+}
+
+// OnAck processes a cumulative acknowledgment that advances the window.
+func (s *PacingCC) OnAck(a Ack) {
+	e := s.e
+	newly := e.AdvanceAck(a.Seq)
+	if !a.NoEcho {
+		e.SampleRTT(e.Now() - a.Echo)
+	}
+	if s.inRecovery {
+		s.inRecovery = false
+		s.dupacks = 0
+		e.SetWindow(s.ssthresh)
+		return
+	}
+	s.dupacks = 0
+	s.GrowAIMD(newly, s.ssthresh)
+}
+
+// OnDupAck counts duplicates toward fast retransmit.
+func (s *PacingCC) OnDupAck(Ack) {
+	e := s.e
+	if s.inRecovery {
+		// No window inflation: the pacer, not the window edge, clocks
+		// transmissions out.
+		return
+	}
+	s.dupacks++
+	if s.dupacks < 3 {
+		return
+	}
+	e.CountFastRecovery()
+	s.inRecovery = true
+	s.ssthresh = e.Window() / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	e.SetWindow(s.ssthresh)
+	e.Retransmit(e.AckNext())
+}
+
+// OnTimeout shrinks to Winit with timer backoff; the engine then goes
+// back N and the pacer restarts.
+func (s *PacingCC) OnTimeout() {
+	e := s.e
+	flight := float64(e.InFlight())
+	s.ssthresh = flight / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.inRecovery = false
+	s.dupacks = 0
+	e.BackoffRTO()
+	e.SetWindow(float64(e.Config().Winit))
+	e.RestartRTOTimer()
+}

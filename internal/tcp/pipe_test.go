@@ -75,36 +75,41 @@ func (pp *pipe) ackOut(p *pkt.Packet) {
 	pp.sched.After(pp.delay, func() { pp.sender.HandleAck(p) })
 }
 
-// connectNewReno wires a NewReno sender and a per-packet-ACK sink.
-func (pp *pipe) connectNewReno(cfg Config) *NewRenoSender {
-	s := NewNewReno(pp.sched, cfg, 1, 0, 1, &pp.uids, pp.dataOut)
-	pp.sender = s
+// connect wires an engine with the given strategy and a per-packet-ACK
+// sink into the pipe.
+func (pp *pipe) connect(cfg Config, cc CongestionControl) *Engine {
+	e := NewEngine(pp.sched, cfg, 1, 0, 1, &pp.uids, pp.dataOut, cc)
+	pp.sender = e
 	pp.sink = NewSink(pp.sched, 1, 1, 0, AckEveryPacket, &pp.uids, pp.ackOut)
-	return s
+	return e
+}
+
+// connectNewReno wires a NewReno sender and a per-packet-ACK sink.
+func (pp *pipe) connectNewReno(cfg Config) *Engine {
+	return pp.connect(cfg, NewNewRenoCC())
+}
+
+// vegasRig exposes the Vegas strategy next to its engine for white-box
+// tests.
+type vegasRig struct {
+	*Engine
+	cc *VegasCC
 }
 
 // connectVegas wires a Vegas sender and a per-packet-ACK sink.
-func (pp *pipe) connectVegas(cfg Config) *VegasSender {
-	s := NewVegas(pp.sched, cfg, 1, 0, 1, &pp.uids, pp.dataOut)
-	pp.sender = s
-	pp.sink = NewSink(pp.sched, 1, 1, 0, AckEveryPacket, &pp.uids, pp.ackOut)
-	return s
+func (pp *pipe) connectVegas(cfg Config) *vegasRig {
+	cc := NewVegasCC()
+	return &vegasRig{Engine: pp.connect(cfg, cc), cc: cc}
 }
 
 // connectReno wires a classic Reno sender and a per-packet-ACK sink.
-func (pp *pipe) connectReno(cfg Config) *RenoSender {
-	s := NewReno1990(pp.sched, cfg, 1, 0, 1, &pp.uids, pp.dataOut)
-	pp.sender = s
-	pp.sink = NewSink(pp.sched, 1, 1, 0, AckEveryPacket, &pp.uids, pp.ackOut)
-	return s
+func (pp *pipe) connectReno(cfg Config) *Engine {
+	return pp.connect(cfg, NewRenoCC1990())
 }
 
 // connectTahoe wires a Tahoe sender and a per-packet-ACK sink.
-func (pp *pipe) connectTahoe(cfg Config) *TahoeSender {
-	s := NewTahoe(pp.sched, cfg, 1, 0, 1, &pp.uids, pp.dataOut)
-	pp.sender = s
-	pp.sink = NewSink(pp.sched, 1, 1, 0, AckEveryPacket, &pp.uids, pp.ackOut)
-	return s
+func (pp *pipe) connectTahoe(cfg Config) *Engine {
+	return pp.connect(cfg, NewTahoeCC())
 }
 
 // run starts the transfer and runs for d of simulated time.

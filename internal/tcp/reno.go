@@ -1,113 +1,84 @@
 package tcp
 
-import (
-	"manetsim/internal/pkt"
-	"manetsim/internal/sim"
-)
-
-// RenoSender implements classic TCP Reno (RFC 2581): fast retransmit after
-// three duplicate ACKs and fast recovery that exits on the *first* new ACK.
-// Unlike NewReno it does not retransmit further holes on partial ACKs, so
-// multiple losses in one window usually cost a coarse timeout — the
-// behaviour that motivated NewReno and one of the baselines in the
+// RenoCC implements classic TCP Reno (RFC 2581): fast retransmit after
+// three duplicate ACKs and fast recovery that exits on the *first* new
+// ACK. Unlike NewReno it does not retransmit further holes on partial
+// ACKs, so multiple losses in one window usually cost a coarse timeout —
+// the behaviour that motivated NewReno and one of the baselines in the
 // Xu & Saadawi comparison the paper's related work discusses.
-type RenoSender struct {
-	*base
+type RenoCC struct {
+	CCBase
 	ssthresh   float64
+	dupacks    int
 	inRecovery bool
 }
 
-var _ Sender = (*RenoSender)(nil)
+var _ CongestionControl = (*RenoCC)(nil)
 
-// NewReno1990 constructs a classic Reno sender for one flow. (The name
-// avoids colliding with NewNewReno; Reno predates NewReno.)
-func NewReno1990(sched *sim.Scheduler, cfg Config, flow int, src, dst pkt.NodeID, uids *pkt.UIDSource, out Output) *RenoSender {
-	s := &RenoSender{ssthresh: 64}
-	s.base = newBase(sched, cfg, flow, src, dst, uids, out)
-	if w := cfg.withDefaults().Wmax; float64(w) < s.ssthresh {
-		s.ssthresh = float64(w)
+// NewRenoCC1990 returns the classic Reno congestion-control strategy.
+// (The name avoids colliding with NewNewRenoCC; Reno predates NewReno.)
+func NewRenoCC1990() *RenoCC { return &RenoCC{} }
+
+// Init binds the engine and seeds ssthresh at the receiver window.
+func (s *RenoCC) Init(e *Engine) {
+	s.CCBase.Init(e)
+	s.ssthresh = s.InitialSSThresh()
+}
+
+// OnAck processes a cumulative acknowledgment that advances the window.
+func (s *RenoCC) OnAck(a Ack) {
+	e := s.e
+	newly := e.AdvanceAck(a.Seq)
+	if !a.NoEcho {
+		e.SampleRTT(e.Now() - a.Echo)
 	}
-	s.rtxTimer = sim.NewTimer(sched, s.onRTO)
-	s.onTimeout = s.onRTO
-	return s
-}
-
-// Start begins the transfer.
-func (s *RenoSender) Start() {
-	s.setCwnd(float64(s.cfg.Winit))
-	s.sendUpTo()
-}
-
-// HandleAck processes a cumulative acknowledgment.
-func (s *RenoSender) HandleAck(p *pkt.Packet) {
-	if p.TCP == nil {
+	if s.inRecovery {
+		// Any new ACK ends Reno fast recovery, deflating to ssthresh —
+		// remaining holes must be found by dupacks again or by the
+		// retransmission timer.
+		s.inRecovery = false
+		s.dupacks = 0
+		e.SetWindow(s.ssthresh)
 		return
 	}
-	s.stats.AcksSeen++
-	ack := p.TCP.Ack
-	if ack > s.ackNext {
-		newly := s.ackAdvance(ack)
-		if !p.TCP.NoEcho {
-			s.sampleRTT(s.sched.Now() - p.TCP.SentAt)
-		}
-		if s.inRecovery {
-			// Any new ACK ends Reno fast recovery, deflating to ssthresh —
-			// remaining holes must be found by dupacks again or by the
-			// retransmission timer.
-			s.inRecovery = false
-			s.dupacks = 0
-			s.setCwnd(s.ssthresh)
-		} else {
-			s.dupacks = 0
-			for i := int64(0); i < newly; i++ {
-				if s.cwnd < s.ssthresh {
-					s.setCwnd(s.cwnd + 1)
-				} else {
-					s.setCwnd(s.cwnd + 1/s.cwnd)
-				}
-			}
-		}
-	} else if s.ackNext < s.nextSeq {
-		s.onDupAck()
-	}
-	s.sendUpTo()
+	s.dupacks = 0
+	s.GrowAIMD(newly, s.ssthresh)
 }
 
-func (s *RenoSender) onDupAck() {
-	s.stats.DupAcks++
+// OnDupAck counts duplicates toward fast retransmit and inflates the
+// window during recovery.
+func (s *RenoCC) OnDupAck(Ack) {
+	e := s.e
 	if s.inRecovery {
-		s.setCwnd(s.cwnd + 1)
+		e.SetWindow(e.Window() + 1)
 		return
 	}
 	s.dupacks++
 	if s.dupacks < 3 {
 		return
 	}
-	s.stats.FastRecov++
+	e.CountFastRecovery()
 	s.inRecovery = true
-	s.ssthresh = s.cwnd / 2
+	s.ssthresh = e.Window() / 2
 	if s.ssthresh < 2 {
 		s.ssthresh = 2
 	}
-	s.setCwnd(s.ssthresh + 3)
-	s.transmit(s.ackNext)
+	e.SetWindow(s.ssthresh + 3)
+	e.Retransmit(e.AckNext())
 }
 
-func (s *RenoSender) onRTO() {
-	if s.ackNext >= s.nextSeq {
-		return
-	}
-	s.stats.Timeouts++
-	flight := float64(s.nextSeq - s.ackNext)
+// OnTimeout shrinks to Winit with timer backoff; the engine then goes
+// back N.
+func (s *RenoCC) OnTimeout() {
+	e := s.e
+	flight := float64(e.InFlight())
 	s.ssthresh = flight / 2
 	if s.ssthresh < 2 {
 		s.ssthresh = 2
 	}
 	s.inRecovery = false
 	s.dupacks = 0
-	s.growBackoff()
-	s.setCwnd(float64(s.cfg.Winit))
-	s.rtxTimer.Reset(s.currentRTO())
-	s.nextSeq = s.ackNext
-	s.sendUpTo()
+	e.BackoffRTO()
+	e.SetWindow(float64(e.Config().Winit))
+	e.RestartRTOTimer()
 }

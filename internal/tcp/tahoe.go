@@ -1,98 +1,74 @@
 package tcp
 
-import (
-	"manetsim/internal/pkt"
-	"manetsim/internal/sim"
-)
-
-// TahoeSender implements TCP Tahoe: fast retransmit after three duplicate
+// TahoeCC implements TCP Tahoe: fast retransmit after three duplicate
 // ACKs but no fast recovery — every loss event collapses the window to
 // Winit and slow-starts. The oldest of the baselines in the related-work
 // comparisons the paper cites.
-type TahoeSender struct {
-	*base
+type TahoeCC struct {
+	CCBase
 	ssthresh float64
+	dupacks  int
 	recover  int64 // highest sequence outstanding at the last loss event
 }
 
-var _ Sender = (*TahoeSender)(nil)
+var _ CongestionControl = (*TahoeCC)(nil)
 
-// NewTahoe constructs a Tahoe sender for one flow.
-func NewTahoe(sched *sim.Scheduler, cfg Config, flow int, src, dst pkt.NodeID, uids *pkt.UIDSource, out Output) *TahoeSender {
-	s := &TahoeSender{ssthresh: 64, recover: -1}
-	s.base = newBase(sched, cfg, flow, src, dst, uids, out)
-	if w := cfg.withDefaults().Wmax; float64(w) < s.ssthresh {
-		s.ssthresh = float64(w)
-	}
-	s.rtxTimer = sim.NewTimer(sched, s.onRTO)
-	s.onTimeout = s.onRTO
-	return s
+// NewTahoeCC returns the Tahoe congestion-control strategy.
+func NewTahoeCC() *TahoeCC { return &TahoeCC{} }
+
+// Init binds the engine and seeds ssthresh at the receiver window.
+func (s *TahoeCC) Init(e *Engine) {
+	s.CCBase.Init(e)
+	s.ssthresh = s.InitialSSThresh()
+	s.recover = -1
 }
 
-// Start begins the transfer.
-func (s *TahoeSender) Start() {
-	s.setCwnd(float64(s.cfg.Winit))
-	s.sendUpTo()
+// OnAck processes a cumulative acknowledgment that advances the window.
+func (s *TahoeCC) OnAck(a Ack) {
+	e := s.e
+	newly := e.AdvanceAck(a.Seq)
+	if !a.NoEcho {
+		e.SampleRTT(e.Now() - a.Echo)
+	}
+	s.dupacks = 0
+	s.GrowAIMD(newly, s.ssthresh)
 }
 
-// HandleAck processes a cumulative acknowledgment.
-func (s *TahoeSender) HandleAck(p *pkt.Packet) {
-	if p.TCP == nil {
-		return
+// OnDupAck counts duplicates; the third collapses the window. The recover
+// guard keeps stale duplicates from the same window from triggering a
+// second collapse.
+func (s *TahoeCC) OnDupAck(Ack) {
+	e := s.e
+	s.dupacks++
+	if s.dupacks == 3 && e.AckNext() > s.recover {
+		s.recover = e.MaxSeq()
+		e.CountFastRecovery()
+		s.lossEvent()
+		// Rewind to the hole; the engine's post-ACK sendUpTo performs
+		// the actual go-back-N retransmission.
+		e.GoBackN()
 	}
-	s.stats.AcksSeen++
-	ack := p.TCP.Ack
-	if ack > s.ackNext {
-		newly := s.ackAdvance(ack)
-		if !p.TCP.NoEcho {
-			s.sampleRTT(s.sched.Now() - p.TCP.SentAt)
-		}
-		s.dupacks = 0
-		for i := int64(0); i < newly; i++ {
-			if s.cwnd < s.ssthresh {
-				s.setCwnd(s.cwnd + 1)
-			} else {
-				s.setCwnd(s.cwnd + 1/s.cwnd)
-			}
-		}
-	} else if s.ackNext < s.nextSeq {
-		s.stats.DupAcks++
-		s.dupacks++
-		// The recover guard keeps stale duplicates from the same window
-		// from triggering a second collapse.
-		if s.dupacks == 3 && s.ackNext > s.recover {
-			s.recover = s.maxSeq
-			s.lossEvent(false)
-		}
-	}
-	s.sendUpTo()
 }
 
-// lossEvent is Tahoe's single reaction to any loss: halve ssthresh, drop
-// the window to Winit, retransmit from the hole (go-back-N) and slow
-// start.
-func (s *TahoeSender) lossEvent(timeout bool) {
-	flight := float64(s.nextSeq - s.ackNext)
+// lossEvent is Tahoe's single reaction to any loss: halve ssthresh and
+// drop the window to Winit; the caller restarts transmission from the
+// hole (go-back-N) and slow start takes over.
+func (s *TahoeCC) lossEvent() {
+	e := s.e
+	flight := float64(e.InFlight())
 	s.ssthresh = flight / 2
 	if s.ssthresh < 2 {
 		s.ssthresh = 2
 	}
-	if timeout {
-		s.stats.Timeouts++
-		s.growBackoff()
-		s.rtxTimer.Reset(s.currentRTO())
-	} else {
-		s.stats.FastRecov++
-	}
 	s.dupacks = 0
-	s.setCwnd(float64(s.cfg.Winit))
-	s.nextSeq = s.ackNext
-	s.sendUpTo()
+	e.SetWindow(float64(e.Config().Winit))
 }
 
-func (s *TahoeSender) onRTO() {
-	if s.ackNext >= s.nextSeq {
-		return
-	}
-	s.lossEvent(true)
+// OnTimeout collapses the window like any other Tahoe loss, with timer
+// backoff; the engine then goes back N.
+func (s *TahoeCC) OnTimeout() {
+	e := s.e
+	s.lossEvent()
+	e.BackoffRTO()
+	e.RestartRTOTimer()
 }

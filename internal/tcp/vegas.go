@@ -3,12 +3,11 @@ package tcp
 import (
 	"time"
 
-	"manetsim/internal/pkt"
 	"manetsim/internal/sim"
 )
 
-// VegasSender implements TCP Vegas (Brakmo & Peterson) with the behaviour
-// the paper relies on:
+// VegasCC implements TCP Vegas (Brakmo & Peterson) with the behaviour the
+// paper relies on:
 //
 //   - proactive window control: once per RTT, diff = W·(RTT−baseRTT)/RTT
 //     (the paper's (W/baseRTT − W/RTT)·baseRTT) is compared against the
@@ -22,73 +21,56 @@ import (
 //     needs three duplicate ACKs or a coarse timeout;
 //   - window reduction by one quarter on a fast retransmission, at most
 //     once per RTT, and a reset to Winit on a coarse timeout (Table 1).
-type VegasSender struct {
-	*base
+type VegasCC struct {
+	CCBase
 	baseRTT time.Duration
 	lastRTT time.Duration // most recent valid sample (paper's "most recent RTT")
 
 	epochStart   sim.Time
 	slowStart    bool
-	ssGrowEpoch  bool  // doubling happens only in alternating epochs
+	ssGrowEpoch  bool // doubling happens only in alternating epochs
+	dupacks      int
 	checkAfterRx int   // non-dup ACKs that still re-check after a rtx
 	lastCutSeq   int64 // guards the 3/4 reduction to once per window
 }
 
-var _ Sender = (*VegasSender)(nil)
+var (
+	_ CongestionControl = (*VegasCC)(nil)
+	_ ackFinisher       = (*VegasCC)(nil)
+)
 
-// NewVegas constructs a Vegas sender for one flow.
-func NewVegas(sched *sim.Scheduler, cfg Config, flow int, src, dst pkt.NodeID, uids *pkt.UIDSource, out Output) *VegasSender {
-	s := &VegasSender{slowStart: true, ssGrowEpoch: true}
-	s.base = newBase(sched, cfg, flow, src, dst, uids, out)
-	s.rtxTimer = sim.NewTimer(sched, s.onRTO)
-	s.onTimeout = s.onRTO
-	return s
+// NewVegasCC returns the Vegas congestion-control strategy.
+func NewVegasCC() *VegasCC { return &VegasCC{} }
+
+// Init binds the engine and resets Vegas state.
+func (s *VegasCC) Init(e *Engine) {
+	s.CCBase.Init(e)
+	s.slowStart = true
+	s.ssGrowEpoch = true
 }
 
-// Start begins the transfer.
-func (s *VegasSender) Start() {
-	s.setCwnd(float64(s.cfg.Winit))
-	s.epochStart = s.sched.Now()
-	s.sendUpTo()
+// OnStart opens the first Vegas epoch.
+func (s *VegasCC) OnStart() {
+	s.epochStart = s.e.Now()
 }
 
-// HandleAck processes a cumulative acknowledgment.
-func (s *VegasSender) HandleAck(p *pkt.Packet) {
-	if p.TCP == nil {
-		return
-	}
-	s.stats.AcksSeen++
-	ack := p.TCP.Ack
-	if ack > s.ackNext {
-		s.onNewAck(p, ack)
-	} else if s.ackNext < s.nextSeq {
-		s.onDupAck()
-	}
-	s.maybeEndEpoch()
-	s.sendUpTo()
-}
-
-func (s *VegasSender) onNewAck(p *pkt.Packet, ack int64) {
-	if !p.TCP.NoEcho && !p.TCP.Retransmit {
+// OnAck processes a cumulative acknowledgment that advances the window.
+func (s *VegasCC) OnAck(a Ack) {
+	e := s.e
+	if !a.NoEcho && !a.FromRetransmit {
 		// Measure against the first newly acked segment (ns-2 Vegas keeps
 		// per-segment send times): for a cumulative ACK covering a burst,
 		// the head of the burst saw the least self-queueing, which is
 		// what Brakmo's marked-segment measurement observes. ACKs
 		// triggered by retransmitted segments are excluded entirely
 		// (Karn's rule — their delay measures recovery, not the path).
-		rtt := s.sched.Now() - p.TCP.SentAt
-		if sent, ok := s.sentAt[s.ackNext]; ok {
-			rtt = s.sched.Now() - sent
+		rtt := e.Now() - a.Echo
+		if sent, ok := e.SentAt(e.AckNext()); ok {
+			rtt = e.Now() - sent
 		}
-		s.sampleRTT(rtt)
-		if rtt > 0 {
-			if s.baseRTT == 0 || rtt < s.baseRTT {
-				s.baseRTT = rtt
-			}
-			s.lastRTT = rtt
-		}
+		e.SampleRTT(rtt)
 	}
-	s.ackAdvance(ack)
+	e.AdvanceAck(a.Seq)
 	s.dupacks = 0
 
 	// Brakmo's post-retransmission check: the first two non-duplicate
@@ -97,7 +79,7 @@ func (s *VegasSender) onNewAck(p *pkt.Packet, ack int64) {
 	// catching multiple losses in one window without dup-ACK stalls.
 	if s.checkAfterRx > 0 {
 		s.checkAfterRx--
-		if s.expired(s.ackNext) {
+		if s.expired(e.AckNext()) {
 			s.retransmitFirst()
 		}
 	}
@@ -105,78 +87,90 @@ func (s *VegasSender) onNewAck(p *pkt.Packet, ack int64) {
 	// Per-ACK exponential growth while in the doubling phase of slow
 	// start; linear adjustment happens only at epoch boundaries.
 	if s.slowStart && s.ssGrowEpoch {
-		s.setCwnd(s.cwnd + 1)
+		e.SetWindow(e.Window() + 1)
 	}
 }
 
-func (s *VegasSender) onDupAck() {
-	s.stats.DupAcks++
+// OnRTTSample tracks the propagation-delay floor and the most recent RTT.
+func (s *VegasCC) OnRTTSample(rtt time.Duration) {
+	if s.baseRTT == 0 || rtt < s.baseRTT {
+		s.baseRTT = rtt
+	}
+	s.lastRTT = rtt
+}
+
+// OnDupAck applies Vegas' fine-grained check: retransmit on the *first*
+// duplicate if the segment has been outstanding longer than srtt+4·rttvar,
+// without waiting for the third duplicate.
+func (s *VegasCC) OnDupAck(Ack) {
 	s.dupacks++
-	// Vegas' fine-grained check: retransmit on the *first* duplicate if
-	// the segment has been outstanding longer than srtt+4·rttvar, without
-	// waiting for the third duplicate.
-	if s.expired(s.ackNext) || s.dupacks == 3 {
+	if s.expired(s.e.AckNext()) || s.dupacks == 3 {
 		s.retransmitFirst()
 	}
 }
 
 // expired reports whether seq has been outstanding beyond the fine-grained
 // timeout.
-func (s *VegasSender) expired(seq int64) bool {
-	sent, ok := s.sentAt[seq]
+func (s *VegasCC) expired(seq int64) bool {
+	sent, ok := s.e.SentAt(seq)
 	if !ok {
 		return false
 	}
-	return s.sched.Now()-sent > s.fineRTO()
+	return s.e.Now()-sent > s.e.FineRTO()
 }
 
 // retransmitFirst resends the oldest unacked segment and applies Vegas'
 // one-quarter window reduction (at most once per window of data).
-func (s *VegasSender) retransmitFirst() {
-	seq := s.ackNext
-	if seq >= s.nextSeq {
+func (s *VegasCC) retransmitFirst() {
+	e := s.e
+	seq := e.AckNext()
+	if seq >= e.NextSeq() {
 		return
 	}
-	s.stats.FastRecov++
-	s.transmit(seq)
+	e.CountFastRecovery()
+	e.Retransmit(seq)
 	s.checkAfterRx = 2
 	s.dupacks = 0
 	if seq > s.lastCutSeq {
-		s.lastCutSeq = s.nextSeq
+		s.lastCutSeq = e.NextSeq()
 		s.slowStart = false
-		w := s.cwnd * 3 / 4
+		w := e.Window() * 3 / 4
 		if w < 2 {
 			w = 2
 		}
-		s.setCwnd(w)
+		e.SetWindow(w)
 	}
 }
 
-// maybeEndEpoch runs the once-per-RTT Vegas window calculation.
-func (s *VegasSender) maybeEndEpoch() {
+// AfterAck runs the once-per-RTT Vegas window calculation. It fires on
+// every incoming ACK — including ones that neither advance nor duplicate —
+// exactly as the epoch check sat in the monolithic sender's ACK path.
+func (s *VegasCC) AfterAck() {
+	e := s.e
 	rtt := s.lastRTT
 	if rtt == 0 {
 		rtt = s.baseRTT
 	}
-	if rtt == 0 || s.sched.Now()-s.epochStart < rtt {
+	if rtt == 0 || e.Now()-s.epochStart < rtt {
 		return
 	}
-	s.epochStart = s.sched.Now()
+	s.epochStart = e.Now()
 
 	// diff = W·(RTT−baseRTT)/RTT, in packets.
-	diff := s.cwnd * float64(s.lastRTT-s.baseRTT) / float64(s.lastRTT)
-	alpha, beta, gamma := float64(s.cfg.Alpha), float64(s.cfg.Beta), float64(s.cfg.Gamma)
+	cfg := e.Config()
+	diff := e.Window() * float64(s.lastRTT-s.baseRTT) / float64(s.lastRTT)
+	alpha, beta, gamma := float64(cfg.Alpha), float64(cfg.Beta), float64(cfg.Gamma)
 
 	if s.slowStart {
 		if diff > gamma {
 			// Leave slow start: shed the overshoot (Brakmo's 1/8) and
 			// switch to linear adjustment.
 			s.slowStart = false
-			w := s.cwnd - s.cwnd/8
+			w := e.Window() - e.Window()/8
 			if w < 2 {
 				w = 2
 			}
-			s.setCwnd(w)
+			e.SetWindow(w)
 			return
 		}
 		// Double only every other RTT: toggle the growth phase.
@@ -186,32 +180,26 @@ func (s *VegasSender) maybeEndEpoch() {
 
 	switch {
 	case diff < alpha:
-		s.setCwnd(s.cwnd + 1)
+		e.SetWindow(e.Window() + 1)
 	case diff > beta:
-		w := s.cwnd - 1
+		w := e.Window() - 1
 		if w < 2 {
 			w = 2
 		}
-		s.setCwnd(w)
+		e.SetWindow(w)
 	}
 }
 
-// onRTO handles a coarse retransmission timeout: Winit window, timer
-// backoff, and a fresh slow start.
-func (s *VegasSender) onRTO() {
-	if s.ackNext >= s.nextSeq {
-		return
-	}
-	s.stats.Timeouts++
-	s.growBackoff()
+// OnTimeout handles a coarse retransmission timeout: Winit window, timer
+// backoff, and a fresh slow start. The engine then goes back N.
+func (s *VegasCC) OnTimeout() {
+	e := s.e
+	e.BackoffRTO()
 	s.slowStart = true
 	s.ssGrowEpoch = true
 	s.dupacks = 0
 	s.checkAfterRx = 0
-	s.setCwnd(float64(s.cfg.Winit))
-	s.epochStart = s.sched.Now()
-	s.rtxTimer.Reset(s.currentRTO())
-	// Go back N, as in BSD/ns-2 TCP (snd_nxt pulled back).
-	s.nextSeq = s.ackNext
-	s.sendUpTo()
+	e.SetWindow(float64(e.Config().Winit))
+	s.epochStart = e.Now()
+	e.RestartRTOTimer()
 }

@@ -82,7 +82,7 @@ func TestVegasExitsSlowStartWithoutLosses(t *testing.T) {
 	pp := newPipe(1, 10*time.Millisecond, 2*time.Millisecond, 0)
 	s := pp.connectVegas(Config{})
 	pp.run(5 * time.Second)
-	if s.slowStart {
+	if s.cc.slowStart {
 		t.Error("still in slow start after 5s with queueing feedback")
 	}
 	if s.Stats().Retransmits != 0 {
@@ -194,10 +194,10 @@ func TestVegasDiffFormula(t *testing.T) {
 	// White-box: with lastRTT = 2*baseRTT and W=8, diff = 8*(1/2) = 4.
 	pp := newPipe(1, time.Millisecond, time.Microsecond, 0)
 	s := pp.connectVegas(Config{})
-	s.baseRTT = 10 * time.Millisecond
-	s.lastRTT = 20 * time.Millisecond
+	s.cc.baseRTT = 10 * time.Millisecond
+	s.cc.lastRTT = 20 * time.Millisecond
 	s.cwnd = 8
-	diff := s.cwnd * float64(s.lastRTT-s.baseRTT) / float64(s.lastRTT)
+	diff := s.cwnd * float64(s.cc.lastRTT-s.cc.baseRTT) / float64(s.cc.lastRTT)
 	if diff != 4 {
 		t.Errorf("diff = %v, want 4", diff)
 	}
@@ -207,7 +207,7 @@ func TestVegasWindowNeverBelowTwoInCongestionAvoidance(t *testing.T) {
 	pp := newPipe(1, 10*time.Millisecond, 5*time.Millisecond, 0)
 	s := pp.connectVegas(Config{})
 	pp.run(10 * time.Second)
-	if !s.slowStart && s.Window() < 2 {
+	if !s.cc.slowStart && s.Window() < 2 {
 		t.Errorf("cwnd = %v, Vegas CA floor is 2", s.Window())
 	}
 }

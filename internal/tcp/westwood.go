@@ -1,0 +1,175 @@
+package tcp
+
+import (
+	"time"
+
+	"manetsim/internal/sim"
+)
+
+// WestwoodCC implements TCP Westwood+ (Mascolo et al.), the classic
+// answer to wireless loss: instead of blindly halving on a loss signal,
+// the sender continuously estimates the eligible rate from the ACK stream
+// and, on loss, backs off to the window that rate can actually sustain —
+// ssthresh = BWE·RTTmin. Random (non-congestion) losses therefore cost
+// far less than under Reno-family halving, while genuine congestion still
+// shrinks the window because BWE itself has collapsed.
+//
+// Mechanics at packet granularity:
+//
+//   - the bandwidth estimate BWE [packets/s] is a low-pass filter over
+//     once-per-RTT samples of the acknowledged packet rate (Westwood+'s
+//     RTT-paced sampling, which fixes the original Westwood's
+//     ACK-compression overestimate): BWE ← g·BWE + (1−g)·sample with
+//     g = Config.BWFilterGain (default 0.9);
+//   - RTTmin is the smallest RTT sample seen, the propagation-delay
+//     proxy;
+//   - fast retransmit after three duplicate ACKs and NewReno-style
+//     partial-ACK recovery, but with ssthresh = max(2, BWE·RTTmin) at
+//     the loss point;
+//   - on a coarse timeout, ssthresh = max(2, BWE·RTTmin) and the window
+//     restarts from Winit;
+//   - slow start / congestion avoidance growth is standard AIMD.
+type WestwoodCC struct {
+	CCBase
+	ssthresh   float64
+	dupacks    int
+	inRecovery bool
+	recover    int64
+
+	bwe        float64       // bandwidth estimate [packets/s]
+	rttMin     time.Duration // propagation-delay proxy
+	ackedEpoch int64         // packets acknowledged in the current sample epoch
+	epochStart sim.Time
+}
+
+var _ CongestionControl = (*WestwoodCC)(nil)
+
+// NewWestwoodCC returns the Westwood+ congestion-control strategy.
+func NewWestwoodCC() *WestwoodCC { return &WestwoodCC{} }
+
+// Init binds the engine and seeds ssthresh at the receiver window.
+func (s *WestwoodCC) Init(e *Engine) {
+	s.CCBase.Init(e)
+	s.ssthresh = s.InitialSSThresh()
+}
+
+// OnStart opens the first bandwidth-sample epoch.
+func (s *WestwoodCC) OnStart() {
+	s.epochStart = s.e.Now()
+}
+
+// OnAck processes a cumulative acknowledgment that advances the window.
+func (s *WestwoodCC) OnAck(a Ack) {
+	e := s.e
+	newly := e.AdvanceAck(a.Seq)
+	if !a.NoEcho {
+		e.SampleRTT(e.Now() - a.Echo)
+	}
+	s.accountBandwidth(newly)
+
+	if s.inRecovery {
+		if a.Seq > s.recover {
+			s.inRecovery = false
+			s.dupacks = 0
+			e.SetWindow(s.ssthresh)
+		} else {
+			// Partial ACK: retransmit the next hole, deflate by the
+			// amount acked, stay in recovery (as NewReno does).
+			e.Retransmit(a.Seq)
+			w := e.Window() - float64(newly) + 1
+			if w < 1 {
+				w = 1
+			}
+			e.SetWindow(w)
+		}
+		return
+	}
+	s.dupacks = 0
+	s.GrowAIMD(newly, s.ssthresh)
+}
+
+// OnRTTSample tracks the propagation-delay floor.
+func (s *WestwoodCC) OnRTTSample(rtt time.Duration) {
+	if s.rttMin == 0 || rtt < s.rttMin {
+		s.rttMin = rtt
+	}
+}
+
+// accountBandwidth folds newly acknowledged packets into the once-per-RTT
+// rate sample and advances the filter at epoch boundaries. The epoch
+// clock starts in OnStart, before any ACK can arrive.
+func (s *WestwoodCC) accountBandwidth(newly int64) {
+	e := s.e
+	s.ackedEpoch += newly
+	epoch := e.SRTT()
+	if epoch == 0 {
+		return // no RTT estimate yet: keep accumulating
+	}
+	elapsed := e.Now() - s.epochStart
+	if elapsed < epoch {
+		return
+	}
+	sample := float64(s.ackedEpoch) / elapsed.Seconds()
+	g := e.Config().BWFilterGain
+	if s.bwe == 0 {
+		s.bwe = sample
+	} else {
+		s.bwe = g*s.bwe + (1-g)*sample
+	}
+	s.ackedEpoch = 0
+	s.epochStart = e.Now()
+}
+
+// bweWindow converts the bandwidth estimate into the sustainable window
+// BWE·RTTmin, Westwood's post-loss operating point.
+func (s *WestwoodCC) bweWindow() float64 {
+	w := s.bwe * s.rttMin.Seconds()
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// OnDupAck counts duplicates toward fast retransmit; the third backs off
+// to the bandwidth-estimate window instead of half the current one.
+func (s *WestwoodCC) OnDupAck(Ack) {
+	e := s.e
+	if s.inRecovery {
+		e.SetWindow(e.Window() + 1)
+		return
+	}
+	s.dupacks++
+	if s.dupacks < 3 {
+		return
+	}
+	e.CountFastRecovery()
+	s.inRecovery = true
+	s.recover = e.NextSeq() - 1
+	s.ssthresh = s.bweWindow()
+	if s.ssthresh > e.Window() {
+		// Never inflate on loss: the estimate may exceed the current
+		// window early in slow start.
+		s.ssthresh = e.Window() / 2
+		if s.ssthresh < 2 {
+			s.ssthresh = 2
+		}
+	}
+	e.SetWindow(s.ssthresh + 3)
+	e.Retransmit(e.AckNext())
+}
+
+// OnTimeout backs off to the bandwidth-estimate ssthresh and restarts
+// from Winit; the engine then goes back N.
+func (s *WestwoodCC) OnTimeout() {
+	e := s.e
+	s.ssthresh = s.bweWindow()
+	s.inRecovery = false
+	s.dupacks = 0
+	e.BackoffRTO()
+	e.SetWindow(float64(e.Config().Winit))
+	e.RestartRTOTimer()
+	// A timeout often follows an outage during which BWE decayed on
+	// stale epochs; restart sampling cleanly.
+	s.ackedEpoch = 0
+	s.epochStart = e.Now()
+}

@@ -9,8 +9,9 @@
 // 802.11 DCF MAC with RTS/CTS, NAV, EIFS and binary exponential backoff; a
 // threshold wireless channel with two-ray-ground capture; AODV with the
 // link-failure behaviour that causes the paper's "false route failures";
-// packet-granularity TCP NewReno, Vegas, Reno and Tahoe; receiver-side ACK
-// thinning; and random waypoint mobility.
+// a pluggable transport layer (TCP NewReno, Vegas, Reno, Tahoe, Westwood+
+// and a rate-based adaptive-pacing sender, all behind one registry);
+// receiver-side ACK thinning; and random waypoint mobility.
 //
 // # Scenarios
 //
@@ -44,6 +45,21 @@
 // run until 110000 packets are delivered, split into batches of 10000,
 // discard the first, and report batch means with 95% confidence intervals.
 //
+// # Transports
+//
+// Transports are plugins: every variant is a named registry entry, and a
+// TransportSpec selects one by Name (or by the legacy Protocol constants,
+// which resolve through the same registry). Window-based variants share
+// one sender engine and differ only in their CongestionControl strategy;
+// RegisterTransport adds new strategies that become selectable everywhere
+// a spec goes, including Campaign sweeps and cmd/manetsim:
+//
+//	manetsim.RegisterTransport("mine", func(manetsim.TransportSpec) (manetsim.CongestionControl, error) {
+//	    return &myCC{}, nil
+//	})
+//	res, err := manetsim.Run(ctx, scn,
+//	    manetsim.WithTransport(manetsim.TransportSpec{Name: "mine"}))
+//
 // # Campaigns
 //
 // A Campaign executes parameter studies: it deduplicates identical runs
@@ -60,6 +76,7 @@ import (
 	"manetsim/internal/phy"
 	"manetsim/internal/pkt"
 	"manetsim/internal/stats"
+	"manetsim/internal/tcp"
 )
 
 // NodeID identifies a node in a scenario (its index in the placement).
@@ -85,12 +102,69 @@ const (
 	Tahoe    = core.ProtoTahoe
 )
 
-// Protocol selects the transport variant.
+// Protocol selects the transport variant. The constants above are
+// registry-backed aliases: they resolve through the same transport
+// registry as TransportSpec.Name, so both selection styles build
+// identical flows.
 type Protocol = core.Protocol
 
 // TransportSpec configures the transport layer of a flow (or the run-wide
-// default passed via WithTransport).
+// default passed via WithTransport). A spec selects its variant either by
+// registry Name — "vegas", "newreno", "pacedudp", "reno", "tahoe",
+// "westwood", "pacing", or anything added with RegisterTransport — or by
+// the legacy Protocol constant.
 type TransportSpec = core.TransportSpec
+
+// Params carries the optional per-variant transport parameters of a
+// TransportSpec (Vegas β/γ, the Westwood+ bandwidth filter gain, the
+// adaptive-pacing shape). Zero fields select the variant defaults.
+type Params = core.Params
+
+// TransportInfo describes one registered transport (see Transports).
+type TransportInfo = core.TransportInfo
+
+// Transports lists every registered transport — built-in and registered —
+// sorted by name.
+func Transports() []TransportInfo { return core.Transports() }
+
+// TransportFactory builds the congestion-control strategy for one flow of
+// a registered transport. The spec carries the flow's parameters; the
+// factory returns an error for unusable ones.
+type TransportFactory = core.CCFactory
+
+// RegisterTransport adds a window-based transport under name, making it
+// selectable everywhere a TransportSpec goes: Run options, per-flow specs,
+// Campaign sweeps, and cmd/manetsim -protocol. The factory's strategy is
+// bound into the shared sender engine, which supplies sequence accounting,
+// RTO estimation, retransmission and window tracing; the strategy only
+// decides the window policy and loss reaction. RegisterTransport panics on
+// an empty or duplicate name (registration happens at program setup).
+//
+// Register from init or main before any runs start; the registry is safe
+// for concurrent reads during runs.
+func RegisterTransport(name string, factory TransportFactory) {
+	core.RegisterCC(name, factory)
+}
+
+// CongestionControl is the strategy interface a registered transport
+// implements: the per-variant reaction to ACKs, duplicate ACKs, RTT
+// samples and timeouts, driving the shared engine. Embed CCBase for
+// neutral defaults and implement only the reactions the variant needs.
+type CongestionControl = tcp.CongestionControl
+
+// CCBase is the embeddable helper for CongestionControl implementations:
+// it stores the engine binding (Engine()) and supplies neutral defaults
+// for Init, OnStart, OnRTTSample and Window.
+type CCBase = tcp.CCBase
+
+// TransportEngine is the shared sender machinery a CongestionControl
+// drives: window and sequence accounting (SetWindow, AdvanceAck, GoBackN,
+// Retransmit), the RTO estimator (SampleRTT, RestartRTOTimer, BackoffRTO,
+// FineRTO) and optional rate pacing (EnablePacing).
+type TransportEngine = tcp.Engine
+
+// Ack summarizes one acknowledgment for a CongestionControl strategy.
+type Ack = tcp.Ack
 
 // Scenario describes the network under test: node placement, flows with
 // per-flow transports and start times, routing and mobility.

@@ -171,7 +171,7 @@ func TestPublicAPITransportName(t *testing.T) {
 		{TransportSpec{Protocol: PacedUDP}, "PacedUDP"},
 	}
 	for _, c := range cases {
-		if got := c.spec.Name(); got != c.want {
+		if got := c.spec.Label(); got != c.want {
 			t.Errorf("Name() = %q, want %q", got, c.want)
 		}
 	}
