@@ -47,10 +47,23 @@ type Campaign struct {
 	// Workers bounds parallel simulations (default GOMAXPROCS).
 	Workers int
 
+	// DisableArenaReuse makes every campaign run build its world from
+	// scratch instead of drawing a reusable arena (World) from the
+	// per-worker pool. Results are identical either way — arena reuse is
+	// byte-exact — so this exists as a diagnostic escape hatch and as the
+	// honest baseline for the replicate-throughput benchmark.
+	DisableArenaReuse bool
+
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 	sem   chan struct{}
 	once  sync.Once
+
+	// arenas pools one reusable World per worker slot. Takes are
+	// non-blocking: a run that finds the pool momentarily empty builds
+	// fresh rather than waiting, and puts simply drop when the pool is
+	// full, so the pool can never deadlock the semaphore.
+	arenas chan *core.World
 
 	gapMu   sync.Mutex
 	gapMemo map[string]time.Duration
@@ -68,8 +81,32 @@ func (c *Campaign) init() {
 		}
 		c.sem = make(chan struct{}, c.Workers)
 		c.cache = make(map[string]*cacheEntry)
+		c.arenas = make(chan *core.World, c.Workers)
 		c.gapMemo = make(map[string]time.Duration)
 	})
+}
+
+// runCore executes one fully scaled config, reusing a pooled arena unless
+// DisableArenaReuse is set. The caller must hold a worker slot, which is
+// what keeps concurrent arena use impossible: at most Workers runs are in
+// flight and the pool holds at most Workers arenas, each owned exclusively
+// while checked out.
+func (c *Campaign) runCore(ctx context.Context, cfg Config) (*Result, error) {
+	if c.DisableArenaReuse {
+		return core.RunContext(ctx, cfg)
+	}
+	var w *core.World
+	select {
+	case w = <-c.arenas:
+	default:
+		w = core.NewWorld()
+	}
+	res, err := w.RunContext(ctx, cfg)
+	select {
+	case c.arenas <- w:
+	default:
+	}
+	return res, err
 }
 
 // scaled fills a config's unset measurement budget and seed from the
@@ -239,7 +276,7 @@ func (c *Campaign) cachedRun(ctx context.Context, cfg Config, abort *atomic.Bool
 	}
 	return c.withSlot(ctx, abort, func() (*Result, error) {
 		e.once.Do(func() {
-			e.res, e.err = core.RunContext(ctx, cfg)
+			e.res, e.err = c.runCore(ctx, cfg)
 			if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
 				c.forget(key, e)
 			}
@@ -424,7 +461,7 @@ func (c *Campaign) OptimalUDPGap(ctx context.Context, hops int, rate Rate) (time
 	// Bypass the scale rewrite and the cache: these quarter-budget probe
 	// runs are keyed by the memo, not the result cache.
 	results, err := c.runParallel(len(cfgs), func(i int, abort *atomic.Bool) (*Result, error) {
-		return c.withSlot(ctx, abort, func() (*Result, error) { return core.RunContext(ctx, cfgs[i]) })
+		return c.withSlot(ctx, abort, func() (*Result, error) { return c.runCore(ctx, cfgs[i]) })
 	})
 	if err != nil {
 		return 0, err

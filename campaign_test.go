@@ -2,6 +2,7 @@ package manetsim
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"strings"
 	"sync/atomic"
@@ -31,6 +32,44 @@ func TestCampaignCacheDedupsRuns(t *testing.T) {
 	}
 	if a != b {
 		t.Error("equal configs built through different entry points were not served from the cache")
+	}
+}
+
+// TestCampaignArenaReuseMatchesFreshBuilds runs the same config grid
+// through two campaigns — one drawing pooled arenas, one forced to build
+// every world from scratch — with several workers each, and requires the
+// results to agree pairwise. Under -race this also checks that concurrent
+// workers never share an arena.
+func TestCampaignArenaReuseMatchesFreshBuilds(t *testing.T) {
+	var cfgs []Config
+	for hops := 2; hops <= 4; hops++ {
+		for seed := int64(1); seed <= 4; seed++ {
+			cfg := benchChainCfg(hops)
+			cfg.Seed = seed
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	ctx := context.Background()
+	reused := NewCampaign(BenchScale)
+	reused.Workers = 4
+	got, err := reused.RunAll(ctx, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCampaign(BenchScale)
+	fresh.Workers = 4
+	fresh.DisableArenaReuse = true
+	want, err := fresh.RunAll(ctx, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		g, _ := json.Marshal(got[i])
+		w, _ := json.Marshal(want[i])
+		if string(g) != string(w) {
+			t.Errorf("cfg %d (seed=%d): arena-pooled result differs from fresh build",
+				i, cfgs[i].Seed)
+		}
 	}
 }
 

@@ -131,6 +131,26 @@ func New(sched *sim.Scheduler, id pkt.NodeID, m *mac.DCF, uids *pkt.UIDSource, c
 	}
 }
 
+// Reset rewinds the router to its just-constructed state for a new run,
+// keeping map capacity. Call after the scheduler was reset: pending
+// discovery timers are already stale, and buffered packets from the
+// previous run belong to a pool that dropped them, so their references are
+// simply forgotten. The optional hooks (DropData, LinkAlive,
+// OnRouteFailure) are cleared; the owner reinstalls what it needs.
+func (r *Router) Reset(cfg Config) {
+	r.cfg = cfg.withDefaults()
+	r.table.Reset(sim.Time(r.cfg.ActiveRouteTimeout))
+	r.seqNo = 0
+	r.rreqID = 0
+	clear(r.seen)
+	clear(r.buffer)
+	clear(r.pending)
+	r.DropData = nil
+	r.LinkAlive = nil
+	r.OnRouteFailure = nil
+	r.Counters = Counters{}
+}
+
 // Table exposes the routing table (read-mostly; used by tests and tools).
 func (r *Router) Table() *Table { return r.table }
 

@@ -67,6 +67,15 @@ func NewStatic(id pkt.NodeID, m *mac.DCF, positions []geo.Point, radioRange floa
 	return &StaticRouter{id: id, mac: m, next: next, deliver: deliver}
 }
 
+// Reset clears the per-run state (counters and the DropData hook) while
+// keeping the precomputed routes. Only valid when the node placement is
+// unchanged — the owner checks that before reusing a static router, since
+// the routes are a pure function of the positions.
+func (r *StaticRouter) Reset() {
+	r.DropData = nil
+	r.Counters = Counters{}
+}
+
 // NextHop returns the next hop toward dst, or pkt.Broadcast when dst is
 // unreachable.
 func (r *StaticRouter) NextHop(dst pkt.NodeID) pkt.NodeID { return r.next[dst] }

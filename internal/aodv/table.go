@@ -26,6 +26,13 @@ func NewTable(sched *sim.Scheduler, timeout sim.Time) *Table {
 	return &Table{sched: sched, entries: make(map[pkt.NodeID]*Route), timeout: timeout}
 }
 
+// Reset empties the table for a new run, keeping the map's capacity, and
+// installs the new active-route timeout.
+func (t *Table) Reset(timeout sim.Time) {
+	clear(t.entries)
+	t.timeout = timeout
+}
+
 // Lookup returns the valid, unexpired route to dst, or nil.
 func (t *Table) Lookup(dst pkt.NodeID) *Route {
 	r := t.entries[dst]

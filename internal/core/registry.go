@@ -169,8 +169,20 @@ func ccConfig(t TransportSpec) tcp.Config {
 // sink (the paper's optimally paced reference transport).
 func buildPacedUDP(s *scenarioState, fi int, f Flow, tspec TransportSpec) error {
 	src, dst := s.nodes[f.Src], s.nodes[f.Dst]
-	usrc := udp.NewSender(s.sched, fi, f.Src, f.Dst, tspec.UDPGap, &s.uids, src.Output())
-	usink := udp.NewSink()
+	usrc := s.arenaUSrc[fi]
+	if usrc != nil {
+		usrc.Reset(fi, f.Src, f.Dst, tspec.UDPGap, src.Output())
+	} else {
+		usrc = udp.NewSender(s.sched, fi, f.Src, f.Dst, tspec.UDPGap, &s.uids, src.Output())
+		s.arenaUSrc[fi] = usrc
+	}
+	usink := s.arenaUSink[fi]
+	if usink != nil {
+		usink.Reset()
+	} else {
+		usink = udp.NewSink()
+		s.arenaUSink[fi] = usink
+	}
 	usink.Delay = s.delay
 	usink.Now = s.sched.Now
 	dst.AttachUDPSink(fi, usink)

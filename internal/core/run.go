@@ -16,7 +16,9 @@ import (
 	"manetsim/internal/udp"
 )
 
-// scenarioState holds the live state of one run.
+// scenarioState holds the live state of one run. A World keeps one across
+// runs as an arena: build(reuse=true) rewinds every layer in place instead
+// of reallocating it.
 type scenarioState struct {
 	cfg   Config
 	obs   Observer
@@ -25,12 +27,25 @@ type scenarioState struct {
 
 	positions []geo.Point
 	flows     []Flow
+	channel   *phy.Channel
 	nodes     []*node.Node
-	routers   []*aodv.Router // nil entries under static routing
+	routers   []*aodv.Router // per node, nil entries under static routing
 	senders   []tcp.Sender   // per flow (nil for UDP)
 	udpSrcs   []*udp.Sender  // per flow (nil for TCP)
 	sinks     []*tcp.Sink    // per flow (nil for UDP)
 	udpSinks  []*udp.Sink
+
+	// Arena pools, preserved across runs. The active slices above are
+	// rebuilt (and nil-zeroed) every run; these keep the allocated objects
+	// so a reused World resets them instead of reallocating. Entries index
+	// by node (routers, statics) or flow slot (transports); a slot reused
+	// for a different flow identity is rebound by the layer's Reset.
+	arenaRouters []*aodv.Router
+	statics      []*aodv.StaticRouter
+	arenaEng     []*tcp.Engine
+	arenaSink    []*tcp.Sink
+	arenaUSrc    []*udp.Sender
+	arenaUSink   []*udp.Sink
 
 	delivered      int64
 	nextBatchAt    int64
@@ -46,6 +61,59 @@ type scenarioState struct {
 	lastSubmit       uint64
 	lastFailures     uint64
 	lastTrueFailures uint64
+}
+
+// reset rewinds the run-global state for the next arena run. The batches
+// slice is dropped, never truncated: the previous run's Result aliases its
+// backing array.
+func (s *scenarioState) reset(seed int64) {
+	s.sched.Reset(seed)
+	s.uids.Reset()
+	s.delivered = 0
+	s.nextBatchAt = 0
+	s.batches = nil
+	s.cur = Batch{}
+	s.lastDrops, s.lastSubmit = 0, 0
+	s.lastFailures, s.lastTrueFailures = 0, 0
+}
+
+// resetSlice returns a zeroed slice of length n, reusing the backing array
+// when its capacity suffices.
+func resetSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// growSlice returns a slice of length n preserving existing entries —
+// including ones beyond the previous length but within capacity, so arena
+// slots survive a run with fewer flows or nodes.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		ns := make([]T, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+// geoEqual reports element-wise equality of two placements.
+func geoEqual(a, b []geo.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Run executes one configured simulation and returns its measurements.
@@ -71,9 +139,16 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	s := &scenarioState{cfg: cfg, obs: cfg.Observer, sched: sim.NewScheduler(cfg.Seed)}
-	if err := s.build(); err != nil {
+	if err := s.build(false); err != nil {
 		return nil, err
 	}
+	return s.finishRun(ctx)
+}
+
+// finishRun executes the built simulation and assembles its Result. Shared
+// by the one-shot RunContext path and World's arena path.
+func (s *scenarioState) finishRun(ctx context.Context) (*Result, error) {
+	cfg := s.cfg
 	s.start()
 	if done := ctx.Done(); done != nil {
 		if err := s.sched.RunUntilWithCheck(cfg.MaxSimTime, ctxCheckInterval, ctx.Err); err != nil {
@@ -109,18 +184,27 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// build materializes the scenario into stacks and flows.
-func (s *scenarioState) build() error {
+// build materializes the scenario into stacks and flows. With reuse set
+// (an arena run after reset), every layer whose shape still fits is
+// rewound in place instead of reallocated; anything whose shape changed —
+// node count, placement-derived static routes — is rebuilt fresh. Both
+// paths consume the scheduler's random stream identically (construction
+// and reset draw nothing), which is what keeps arena runs byte-identical
+// to fresh ones.
+func (s *scenarioState) build(reuse bool) error {
 	scn := s.cfg.Scenario
 	pts, flows, err := scn.materialize(s.sched.Rand())
 	if err != nil {
 		return err
 	}
+	samePlacement := reuse && geoEqual(s.positions, pts)
 	s.positions = pts
 	s.flows = flows
-	s.perFlowPackets = make([]int64, len(flows))
-	s.lastRtx = make([]uint64, len(flows))
+	s.perFlowPackets = resetSlice(s.perFlowPackets, len(flows))
+	s.lastRtx = resetSlice(s.lastRtx, len(flows))
 
+	// Mobility models are cheap and draw nothing at construction; always
+	// rebuilding keeps the reuse path trivially draw-order identical.
 	model, err := buildMobility(scn.Mobility, pts, flows, s.sched.Rand())
 	if err != nil {
 		return err
@@ -128,21 +212,42 @@ func (s *scenarioState) build() error {
 	if scn.Routing == RoutingStatic && !model.Static() {
 		return errStaticMobility
 	}
-	ch := phy.NewMobileChannel(s.sched, model, scn.Mobility.UpdateInterval)
-	ch.NoCapture = s.cfg.NoCapture
-	s.nodes = make([]*node.Node, len(pts))
-	s.routers = make([]*aodv.Router, len(pts))
-	for i := range pts {
-		n := node.New(s.sched, ch.Radio(pkt.NodeID(i)), s.cfg.Bandwidth)
-		n.OnFlowDelivery = s.onDelivery
-		s.nodes[i] = n
+	reuse = reuse && s.channel != nil && s.channel.NumRadios() == len(pts) && len(s.nodes) == len(pts)
+	if reuse {
+		s.channel.Reset(model, scn.Mobility.UpdateInterval)
+		for _, n := range s.nodes {
+			n.Reset(s.cfg.Bandwidth)
+		}
+	} else {
+		s.channel = phy.NewMobileChannel(s.sched, model, scn.Mobility.UpdateInterval)
+		s.nodes = make([]*node.Node, len(pts))
+		for i := range pts {
+			s.nodes[i] = node.New(s.sched, s.channel.Radio(pkt.NodeID(i)), s.cfg.Bandwidth)
+		}
+		// Routing entities hold MAC bindings from the torn-down stacks.
+		s.arenaRouters = nil
+		s.statics = nil
 	}
+	ch := s.channel
+	ch.NoCapture = s.cfg.NoCapture
+	for _, n := range s.nodes {
+		n.OnFlowDelivery = s.onDelivery
+	}
+	s.routers = resetSlice(s.routers, len(pts))
+	s.arenaRouters = growSlice(s.arenaRouters, len(pts))
+	s.statics = growSlice(s.statics, len(pts))
 	for i := range pts {
 		id := pkt.NodeID(i)
 		n := s.nodes[i]
 		switch scn.Routing {
 		case RoutingAODV:
-			r := aodv.New(s.sched, id, n.MAC, &s.uids, aodv.Config{}, n.Deliver)
+			r := s.arenaRouters[i]
+			if r != nil {
+				r.Reset(aodv.Config{})
+			} else {
+				r = aodv.New(s.sched, id, n.MAC, &s.uids, aodv.Config{}, n.Deliver)
+				s.arenaRouters[i] = r
+			}
 			// Omniscient link oracle: lets the measurement layer tell
 			// genuine route breaks (hop moved away) from the paper's false
 			// route failures (contention on a healthy link).
@@ -153,17 +258,35 @@ func (s *scenarioState) build() error {
 			s.routers[i] = r
 			n.SetRouter(r)
 		case RoutingStatic:
-			n.SetRouter(aodv.NewStatic(id, n.MAC, pts, phy.TxRange, n.Deliver))
+			// Static routes are a pure function of the placement: reusable
+			// exactly when the placement repeated (the common case in a
+			// seed sweep over an explicit scenario).
+			sr := s.statics[i]
+			if sr != nil && samePlacement {
+				sr.Reset()
+			} else {
+				sr = aodv.NewStatic(id, n.MAC, pts, phy.TxRange, n.Deliver)
+				s.statics[i] = sr
+			}
+			n.SetRouter(sr)
 		default:
 			return errUnknownRouting(scn.Routing)
 		}
 	}
 
-	s.senders = make([]tcp.Sender, len(flows))
-	s.udpSrcs = make([]*udp.Sender, len(flows))
-	s.sinks = make([]*tcp.Sink, len(flows))
-	s.udpSinks = make([]*udp.Sink, len(flows))
-	s.delay = stats.NewDurationHistogram(4096, s.sched.Rand().Int63n)
+	s.senders = resetSlice(s.senders, len(flows))
+	s.udpSrcs = resetSlice(s.udpSrcs, len(flows))
+	s.sinks = resetSlice(s.sinks, len(flows))
+	s.udpSinks = resetSlice(s.udpSinks, len(flows))
+	s.arenaEng = growSlice(s.arenaEng, len(flows))
+	s.arenaSink = growSlice(s.arenaSink, len(flows))
+	s.arenaUSrc = growSlice(s.arenaUSrc, len(flows))
+	s.arenaUSink = growSlice(s.arenaUSink, len(flows))
+	if s.delay == nil {
+		s.delay = stats.NewDurationHistogram(4096, s.sched.Rand().Int63n)
+	} else {
+		s.delay.Reset()
+	}
 	for fi, f := range flows {
 		tspec := s.cfg.Transport
 		if !f.Transport.IsZero() {
@@ -199,14 +322,26 @@ func (s *scenarioState) buildFlow(fi int, f Flow, tspec TransportSpec) error {
 	if err != nil {
 		return fmt.Errorf("core: %s (%s): %w", tr.name, flowContext(fi), err)
 	}
-	snd := tcp.NewEngine(s.sched, tcfg, fi, f.Src, f.Dst, &s.uids, src.Output(), cc)
+	snd := s.arenaEng[fi]
+	if snd != nil {
+		snd.Reset(tcfg, fi, f.Src, f.Dst, src.Output(), cc)
+	} else {
+		snd = tcp.NewEngine(s.sched, tcfg, fi, f.Src, f.Dst, &s.uids, src.Output(), cc)
+		s.arenaEng[fi] = snd
+	}
 	policy := tcp.AckEveryPacket
 	if tspec.AckThinning {
 		policy = tcp.AckThinning
 	} else if tspec.DelayedAck {
 		policy = tcp.AckDelayed
 	}
-	sink := tcp.NewSink(s.sched, fi, f.Dst, f.Src, policy, &s.uids, dst.Output())
+	sink := s.arenaSink[fi]
+	if sink != nil {
+		sink.Reset(fi, f.Dst, f.Src, policy, dst.Output())
+	} else {
+		sink = tcp.NewSink(s.sched, fi, f.Dst, f.Src, policy, &s.uids, dst.Output())
+		s.arenaSink[fi] = sink
+	}
 	sink.Delay = s.delay
 	src.AttachTCPSender(fi, snd)
 	dst.AttachTCPSink(fi, sink)

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+
+	"manetsim/internal/sim"
+)
+
+// World is a reusable run arena: it keeps every allocation a simulation
+// run makes — the scheduler's event heap, the channel with its spatial
+// grid and signal pools, the per-node MAC/routing stacks, the transport
+// engines, the packet pool — and rewinds all of it in place for the next
+// run instead of rebuilding from scratch. Results are byte-identical to
+// fresh runs of the same Config: resets restore exactly the state a fresh
+// construction would produce, including the random stream.
+//
+// A World is not safe for concurrent use (each run owns its state
+// exclusively, like the single-threaded scheduler underneath), but
+// separate Worlds run concurrently without restriction; Campaign pools one
+// per worker. The zero-cost escape hatch is simply not reusing it: a World
+// used once behaves exactly like RunContext.
+//
+// Shape changes between runs are handled transparently: a run whose node
+// count differs rebuilds the stacks, a static-routed run whose placement
+// changed recomputes routes, and flow-slot reuse rebinds the transport to
+// the new flow's endpoints. Only what changed is rebuilt.
+type World struct {
+	s *scenarioState
+}
+
+// NewWorld returns an empty arena. The first run builds the full state;
+// subsequent runs reuse it.
+func NewWorld() *World { return &World{} }
+
+// Run executes one configured simulation on the arena. See RunContext.
+func (w *World) Run(cfg Config) (*Result, error) {
+	return w.RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one configured simulation on the arena under ctx,
+// with the exact semantics of the package-level RunContext — including
+// cancellation — plus arena reuse. A build error discards the arena state
+// (the next run starts fresh); a cancelled run keeps it, since the next
+// reset sweeps whatever the aborted run left behind.
+func (w *World) RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := w.s
+	reuse := s != nil
+	if reuse {
+		s.reset(cfg.Seed)
+	} else {
+		s = &scenarioState{sched: sim.NewScheduler(cfg.Seed)}
+	}
+	s.cfg = cfg
+	s.obs = cfg.Observer
+	if err := s.build(reuse); err != nil {
+		// A half-built arena holds layers in mixed generations; safer to
+		// drop it than to reason about which resets still apply.
+		w.s = nil
+		return nil, err
+	}
+	w.s = s
+	return s.finishRun(ctx)
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// worldTestConfig builds a small-budget config for arena determinism
+// checks: enough packets to close several batches, few enough to keep the
+// full transport x scenario x seed matrix fast.
+func worldTestConfig(scn *Scenario, tspec TransportSpec, seed int64) Config {
+	return Config{
+		Scenario:     scn,
+		Transport:    tspec,
+		Seed:         seed,
+		TotalPackets: 220,
+		BatchPackets: 20,
+	}
+}
+
+// digest renders a Result to its canonical JSON byte form — the same
+// encoding the golden figure digests hash — so "byte-identical" is checked
+// literally.
+func digest(t *testing.T, res *Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return string(b)
+}
+
+// worldSpecs returns one usable TransportSpec per registered transport
+// (paced UDP needs its gap filled in).
+func worldSpecs() []TransportSpec {
+	var specs []TransportSpec
+	for _, info := range Transports() {
+		spec := TransportSpec{Name: info.Name}
+		if info.Name == "pacedudp" {
+			spec.UDPGap = 20 * time.Millisecond
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// TestWorldByteIdenticalAllTransports asserts that for every registered
+// transport, runs on a single reused World are byte-identical to fresh
+// builds, across seeds, static and mobile scenarios, and both routing
+// substrates. One World serves the whole interleaved sequence, so the test
+// also exercises shape transitions (node counts, routing, placement
+// changes) between consecutive reuses.
+func TestWorldByteIdenticalAllTransports(t *testing.T) {
+	scenarios := []func() *Scenario{
+		func() *Scenario { return Chain(3) },
+		func() *Scenario { return Chain(2).WithRouting(RoutingStatic) },
+		func() *Scenario { return RandomField(12, 800, 800, 2) },
+		func() *Scenario {
+			return Chain(3).WithMobility(MobilitySpec{
+				Kind:     MobilityRandomWaypoint,
+				MaxSpeed: 5,
+				Pause:    time.Second,
+			})
+		},
+	}
+	w := NewWorld()
+	for _, spec := range worldSpecs() {
+		for si, mk := range scenarios {
+			if spec.Name == "pacedudp" && si == 3 {
+				// Keep the mobile matrix to a spot check; UDP's mobile
+				// behavior is covered by the AODV static/random cases.
+				continue
+			}
+			for _, seed := range []int64{1, 7} {
+				name := fmt.Sprintf("%s/scn%d/seed%d", spec.Name, si, seed)
+				cfg := worldTestConfig(mk(), spec, seed)
+				fresh, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s: fresh run: %v", name, err)
+				}
+				reused, err := w.Run(cfg)
+				if err != nil {
+					t.Fatalf("%s: arena run: %v", name, err)
+				}
+				if df, dr := digest(t, fresh), digest(t, reused); df != dr {
+					t.Errorf("%s: arena result differs from fresh\nfresh:  %.200s\narena:  %.200s", name, df, dr)
+				}
+			}
+		}
+	}
+}
+
+// TestWorldRepeatedSameConfig asserts back-to-back reuse of one config is
+// stable (the common Campaign replicate pattern) and that distinct seeds
+// still produce distinct results through the arena.
+func TestWorldRepeatedSameConfig(t *testing.T) {
+	w := NewWorld()
+	cfg := worldTestConfig(Chain(3), TransportSpec{Name: "vegas"}, 3)
+	first, err := w.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := w.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest(t, first) != digest(t, second) {
+		t.Error("same config twice on one arena: results differ")
+	}
+	other, err := w.Run(worldTestConfig(Chain(3), TransportSpec{Name: "vegas"}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest(t, first) == digest(t, other) {
+		t.Error("different seeds produced identical results (arena state leaking?)")
+	}
+}
+
+// TestWorldErrorDoesNotPoison asserts a failed build drops the arena
+// cleanly: the next valid run still matches a fresh one.
+func TestWorldErrorDoesNotPoison(t *testing.T) {
+	w := NewWorld()
+	good := worldTestConfig(Chain(3), TransportSpec{Name: "newreno"}, 5)
+	if _, err := w.Run(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Transport = TransportSpec{Name: "no-such-transport"}
+	if _, err := w.Run(bad); err == nil {
+		t.Fatal("invalid transport accepted")
+	}
+	fresh, err := Run(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := w.Run(good)
+	if err != nil {
+		t.Fatalf("arena run after error: %v", err)
+	}
+	if digest(t, fresh) != digest(t, again) {
+		t.Error("arena result differs from fresh after an intervening build error")
+	}
+}

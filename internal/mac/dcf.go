@@ -122,6 +122,51 @@ func New(sched *sim.Scheduler, radio *phy.Radio, cfg Config, cb Callbacks) *DCF 
 	return d
 }
 
+// Reset rewinds the MAC to its just-constructed state for a new run over
+// the same radio, keeping the frame freelist, and reinstalls itself as the
+// radio's handler (a radio reset clears it). Call after the scheduler was
+// reset: the MAC's timers and pending response events are already swept,
+// and queued or in-flight packets from the previous run belong to a pool
+// that dropped them, so the references are simply forgotten. Frames that
+// were on the air are likewise dropped to the garbage collector — the
+// freelist only ever holds properly recycled frames.
+func (d *DCF) Reset(cfg Config) {
+	d.timing = NewTiming(cfg.DataRate)
+	d.qcap = cfg.QueueCap
+	if d.qcap == 0 {
+		d.qcap = DefaultQueueCap
+	}
+	for i := range d.queue {
+		d.queue[i] = txItem{}
+	}
+	d.queue = d.queue[:0]
+	d.cur = nil
+	d.curSlot = txItem{}
+	d.ph = phaseIdle
+	d.cw = CWMin
+	d.backoffSlots = 0
+	d.counting = false
+	d.countStart = 0
+	d.curIFS = 0
+	d.useEIFS = false
+	d.deferTimer.Stop()
+	d.ctsTimer.Stop()
+	d.ackTimer.Stop()
+	d.navTimer.Stop()
+	d.navUntil = 0
+	d.ssrc, d.slrc = 0, 0
+	d.respInFlight = false
+	d.respPending = false
+	clear(d.seen)
+	for i := range d.seenRing {
+		d.seenRing[i] = 0
+	}
+	d.seenIdx = 0
+	d.Counters = Counters{}
+	d.radio.SetHandler(d)
+	d.radio.OnFrameReleased = d.frameReleased
+}
+
 // newFrame takes a frame from the transmit pool (or allocates one). The
 // caller must set every field it needs; recycled frames come back zeroed.
 func (d *DCF) newFrame() *Frame {

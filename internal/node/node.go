@@ -48,6 +48,10 @@ type Node struct {
 	tcpSinks   map[int]*tcp.Sink
 	udpSinks   map[int]*udp.Sink
 
+	// output is the cached transport-layer output closure (see Output). It
+	// reads n.router dynamically, so it survives router swaps and resets.
+	output func(p *pkt.Packet)
+
 	// OnFlowDelivery observes per-flow goodput advancement (new in-order
 	// packets at a local sink). The core layer uses it for batch breaks.
 	OnFlowDelivery func(flow int, packets int64)
@@ -89,10 +93,28 @@ func (n *Node) mustRouter() Router {
 	return n.router
 }
 
+// Reset rewinds the node for a new run over the same (already reset) radio
+// and scheduler: the router is detached, the flow endpoints unregistered
+// (so Attach* accepts the new run's flows), the delivery hook cleared, and
+// the MAC reset — which also re-installs the MAC as the radio's handler.
+func (n *Node) Reset(dataRate phy.Rate) {
+	n.router = nil
+	clear(n.tcpSenders)
+	clear(n.tcpSinks)
+	clear(n.udpSinks)
+	n.OnFlowDelivery = nil
+	n.MAC.Reset(mac.Config{DataRate: dataRate})
+}
+
 // Output returns the transport-layer output function: packets go to the
-// routing layer.
+// routing layer. The closure is built once per node and cached, so
+// transport endpoints bound to it across arena reuse keep a stable, valid
+// binding (it resolves the router at call time).
 func (n *Node) Output() func(p *pkt.Packet) {
-	return func(p *pkt.Packet) { n.mustRouter().Send(p) }
+	if n.output == nil {
+		n.output = func(p *pkt.Packet) { n.mustRouter().Send(p) }
+	}
+	return n.output
 }
 
 // AttachTCPSender registers a sender for a flow originating here.

@@ -14,20 +14,30 @@ func BenchmarkScheduleCancel(b *testing.B)       { BenchScheduleCancel(b) }
 func BenchmarkTimerReset(b *testing.B)           { BenchTimerReset(b) }
 func BenchmarkMACContention(b *testing.B)        { BenchMACContention(b) }
 func BenchmarkChannelNeighborQuery(b *testing.B) { BenchChannelNeighborQuery(b) }
-func BenchmarkEndToEndBenchScale(b *testing.B)   { BenchEndToEndBenchScale(b) }
+func BenchmarkChannelNeighborQuerySparse(b *testing.B) {
+	BenchChannelNeighborQuerySparse(b)
+}
+func BenchmarkEndToEndBenchScale(b *testing.B) { BenchEndToEndBenchScale(b) }
+func BenchmarkCampaignReplicates(b *testing.B) { BenchCampaignReplicates(b) }
+func BenchmarkCampaignReplicatesRebuild(b *testing.B) {
+	BenchCampaignReplicatesRebuild(b)
+}
 
 // TestSuiteNamesMatchWrappers guards the Suite()/wrapper pairing: a case
 // added to one side but not the other would silently vanish from either
 // the CI run or the snapshot.
 func TestSuiteNamesMatchWrappers(t *testing.T) {
 	want := map[string]bool{
-		"BenchmarkScheduleDispatch":     true,
-		"BenchmarkScheduleDispatchDeep": true,
-		"BenchmarkScheduleCancel":       true,
-		"BenchmarkTimerReset":           true,
-		"BenchmarkMACContention":        true,
-		"BenchmarkChannelNeighborQuery": true,
-		"BenchmarkEndToEndBenchScale":   true,
+		"BenchmarkScheduleDispatch":           true,
+		"BenchmarkScheduleDispatchDeep":       true,
+		"BenchmarkScheduleCancel":             true,
+		"BenchmarkTimerReset":                 true,
+		"BenchmarkMACContention":              true,
+		"BenchmarkChannelNeighborQuery":       true,
+		"BenchmarkChannelNeighborQuerySparse": true,
+		"BenchmarkEndToEndBenchScale":         true,
+		"BenchmarkCampaignReplicates":         true,
+		"BenchmarkCampaignReplicatesRebuild":  true,
 	}
 	got := Suite()
 	if len(got) != len(want) {

@@ -10,9 +10,11 @@
 package perf
 
 import (
+	"context"
 	"testing"
 	"time"
 
+	"manetsim"
 	"manetsim/internal/core"
 	"manetsim/internal/exp"
 	"manetsim/internal/geo"
@@ -38,7 +40,10 @@ func Suite() []Case {
 		{"BenchmarkTimerReset", BenchTimerReset},
 		{"BenchmarkMACContention", BenchMACContention},
 		{"BenchmarkChannelNeighborQuery", BenchChannelNeighborQuery},
+		{"BenchmarkChannelNeighborQuerySparse", BenchChannelNeighborQuerySparse},
 		{"BenchmarkEndToEndBenchScale", BenchEndToEndBenchScale},
+		{"BenchmarkCampaignReplicates", BenchCampaignReplicates},
+		{"BenchmarkCampaignReplicatesRebuild", BenchCampaignReplicatesRebuild},
 	}
 }
 
@@ -174,6 +179,105 @@ func BenchChannelNeighborQuery(b *testing.B) {
 		b.Fatal("empty neighbor sets")
 	}
 }
+
+// sparseModel keeps a node grid still except for two nodes that drift
+// sideways — the common mobile-scenario regime where most nodes are paused
+// between waypoints. With incremental neighbor epochs only the movers and
+// their vicinities rebuild; everything else stays on the cached fast path.
+type sparseModel struct {
+	n       int
+	spacing float64
+}
+
+func (m sparseModel) Len() int     { return m.n }
+func (m sparseModel) Static() bool { return false }
+func (m sparseModel) PositionAt(i int, t sim.Time) geo.Point {
+	p := geo.Point{
+		X: float64(i%10) * m.spacing,
+		Y: float64(i/10) * m.spacing,
+	}
+	if i == 0 || i == m.n/2 {
+		p.X += 3 * float64(t/phy.DefaultUpdateInterval)
+	}
+	return p
+}
+
+// BenchChannelNeighborQuerySparse is BenchChannelNeighborQuery with sparse
+// movement: the same 100-node channel and full query sweep, but only two
+// nodes move per position epoch. The gap between this and the dense bench
+// is the payoff of incremental (O(moved)) neighbor-epoch maintenance.
+func BenchChannelNeighborQuerySparse(b *testing.B) {
+	sched := sim.NewScheduler(1)
+	const n = 100
+	ch := phy.NewMobileChannel(sched, sparseModel{n: n, spacing: 500}, 0)
+	sum := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.RunUntil(time.Duration(i+1) * phy.DefaultUpdateInterval)
+		for id := 0; id < n; id++ {
+			sum += ch.NeighborCount(pkt.NodeID(id))
+		}
+	}
+	b.StopTimer()
+	if sum == 0 {
+		b.Fatal("empty neighbor sets")
+	}
+}
+
+// benchCampaignReplicates measures campaign replicate throughput on a
+// world whose construction is expensive relative to its measurement
+// budget: a 210-node static-routed grid (route computation is cubic in
+// node count) sampled for a small packet budget across many seeds. One
+// campaign persists across iterations — seeds never repeat, so every run
+// simulates — and rebuild toggles DisableArenaReuse, making the pair a
+// direct fresh-build-vs-arena comparison.
+func benchCampaignReplicates(b *testing.B, rebuild bool) {
+	const (
+		cols, rows = 15, 14
+		seeds      = 32
+	)
+	scn := core.NewScenario("arena-grid").WithRouting(core.RoutingStatic)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			scn.AddNode(float64(c)*200, float64(r)*200)
+		}
+	}
+	scn.AddFlow(0, 2)
+	camp := manetsim.NewCampaign(manetsim.BenchScale)
+	camp.DisableArenaReuse = rebuild
+	next := int64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfgs := make([]core.Config, seeds)
+		for j := range cfgs {
+			cfgs[j] = core.Config{
+				Scenario:     scn,
+				Bandwidth:    phy.Rate2Mbps,
+				Transport:    core.TransportSpec{Name: "vegas"},
+				Seed:         next,
+				TotalPackets: 44,
+				BatchPackets: 4,
+			}
+			next++
+		}
+		if _, err := camp.RunAll(context.Background(), cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(seeds)*float64(b.N)/b.Elapsed().Seconds(), "replicates/s")
+}
+
+// BenchCampaignReplicates measures replicate throughput with the default
+// per-worker arena pool: world setup amortizes across the sweep.
+func BenchCampaignReplicates(b *testing.B) { benchCampaignReplicates(b, false) }
+
+// BenchCampaignReplicatesRebuild is the same sweep with arena reuse
+// disabled — every replicate rebuilds its world from scratch. The ratio to
+// BenchCampaignReplicates is the arena speedup.
+func BenchCampaignReplicatesRebuild(b *testing.B) { benchCampaignReplicates(b, true) }
 
 // BenchEndToEndBenchScale is the headline end-to-end figure: one complete
 // 8-hop Vegas chain run at the BenchScale measurement budget (the same

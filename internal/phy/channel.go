@@ -86,7 +86,11 @@ type Channel struct {
 	model    PositionModel // nil once positions are frozen (static)
 	interval time.Duration // epoch period (mobile channels only)
 	grid     *spatialGrid
-	epoch    uint64 // bumped whenever any position changes
+
+	// Scratch for refreshPositions: the radios that moved this epoch and
+	// their previous positions. Reused across epochs, never escapes.
+	moved    []*Radio
+	movedOld []geo.Point
 
 	// Freelists for the per-transmission hot-path objects. A transmission
 	// to k neighbors needs one txRecord and k signals; all of them are
@@ -126,9 +130,44 @@ func NewMobileChannel(sched *sim.Scheduler, model PositionModel, interval time.D
 	if !model.Static() {
 		c.model = model
 		c.interval = interval
-		c.sched.After(interval, c.refreshPositions)
+		c.sched.AfterFunc(interval, refreshPositionsFn, c)
 	}
 	return c
+}
+
+// Reset rewinds the channel for a fresh run over the same radio set: the
+// grid is re-bucketed from the model's initial positions, every radio
+// returns to its zero state, and (for non-static models) the epoch tick is
+// re-armed. The caller must Reset the scheduler first — that sweeps the
+// previous run's pending signal events; any in-flight signal/txRecord
+// objects simply drop to the garbage collector (the freelists only ever
+// hold properly retired ones) and MAC frames they referenced are recycled
+// by the MAC's own reset.
+func (c *Channel) Reset(model PositionModel, interval time.Duration) {
+	if model == nil {
+		panic("phy: nil position model")
+	}
+	if model.Len() != len(c.radios) {
+		panic(fmt.Sprintf("phy: Reset model has %d nodes, channel has %d radios", model.Len(), len(c.radios)))
+	}
+	if interval <= 0 {
+		interval = DefaultUpdateInterval
+	}
+	c.NoCapture = false
+	c.grid.reset()
+	now := c.sched.Now()
+	for i, r := range c.radios {
+		r.reset(model.PositionAt(i, now))
+		c.grid.insert(r)
+	}
+	if !model.Static() {
+		c.model = model
+		c.interval = interval
+		c.sched.AfterFunc(interval, refreshPositionsFn, c)
+	} else {
+		c.model = nil
+		c.interval = 0
+	}
 }
 
 func (c *Channel) makeRadios(positions []geo.Point) {
@@ -140,33 +179,66 @@ func (c *Channel) makeRadios(positions []geo.Point) {
 	}
 }
 
+// refreshPositionsFn is the scheduler trampoline for the epoch tick, so
+// re-arming it never allocates a method-value closure.
+func refreshPositionsFn(a any) { a.(*Channel).refreshPositions() }
+
 // refreshPositions is the epoch tick: re-sample every radio's position from
-// the model, re-bucket movers in the grid, and invalidate neighbor caches
-// iff something moved.
+// the model, re-bucket movers in the grid, and invalidate exactly the
+// neighbor caches the movement could have changed. Cache maintenance is
+// O(moved): each mover dirties itself plus the radios near its old and new
+// positions. When a large fraction of the network moved (the dense regime),
+// per-mover marking would visit most radios several times over, so the tick
+// falls back to invalidating everything in one pass.
 func (c *Channel) refreshPositions() {
 	now := c.sched.Now()
-	moved := false
+	c.moved = c.moved[:0]
+	c.movedOld = c.movedOld[:0]
 	for _, r := range c.radios {
 		p := c.model.PositionAt(int(r.id), now)
 		if p != r.pos {
-			old := r.pos
+			c.moved = append(c.moved, r)
+			c.movedOld = append(c.movedOld, r.pos)
 			r.pos = p
-			c.grid.move(r, old)
-			moved = true
+			c.grid.move(r, c.movedOld[len(c.movedOld)-1])
 		}
 	}
-	if moved {
-		c.epoch++
+	switch {
+	case len(c.moved) == 0:
+		// Nothing moved: every cache stays valid.
+	case 4*len(c.moved) >= len(c.radios):
+		for _, r := range c.radios {
+			r.nbValid = false
+		}
+	default:
+		for i, r := range c.moved {
+			r.nbValid = false
+			c.markNear(c.movedOld[i])
+			c.markNear(r.pos)
+		}
 	}
-	c.sched.After(c.interval, c.refreshPositions)
+	c.sched.AfterFunc(c.interval, refreshPositionsFn, c)
+}
+
+// invalidateNb marks one radio's neighbor cache stale. A package-level
+// function, so passing it to forNear allocates nothing.
+func invalidateNb(o *Radio) { o.nbValid = false }
+
+// markNear invalidates the neighbor caches of every radio that could have p
+// inside its carrier-sense range. forNear over-approximates by cell blocks;
+// over-marking only costs a rebuild, never correctness — rebuilt sets are
+// exact (distance-filtered and id-sorted), so dirty marking changes when
+// caches rebuild but never what they contain.
+func (c *Channel) markNear(p geo.Point) {
+	c.grid.forNear(p, CSRange, invalidateNb)
 }
 
 // neighborsOf returns r's current neighbor set, rebuilding the cached slice
-// from the spatial grid when the position epoch advanced. Entries are
+// from the spatial grid when an epoch tick dirtied it. Entries are
 // ordered by node id so event scheduling — and therefore whole runs — stay
 // deterministic regardless of grid-map iteration order.
 func (c *Channel) neighborsOf(r *Radio) []neighbor {
-	if r.nbValid && r.nbEpoch == c.epoch {
+	if r.nbValid {
 		return r.nbCache
 	}
 	r.nbCache = r.nbCache[:0]
@@ -187,7 +259,6 @@ func (c *Channel) neighborsOf(r *Radio) []neighbor {
 	slices.SortFunc(r.nbCache, func(a, b neighbor) int {
 		return int(a.radio.id - b.radio.id)
 	})
-	r.nbEpoch = c.epoch
 	r.nbValid = true
 	return r.nbCache
 }
@@ -317,9 +388,9 @@ type Radio struct {
 	// has retired). The MAC uses it to recycle frame objects.
 	OnFrameReleased func(frame any)
 
-	// Neighbor cache, valid for one position epoch.
+	// Neighbor cache, invalidated by epoch ticks that move this radio or
+	// one of its (old or new) surroundings.
 	nbCache []neighbor
-	nbEpoch uint64
 	nbValid bool
 
 	txUntil   sim.Time // end of own transmission (0 => not transmitting)
@@ -334,6 +405,26 @@ type Radio struct {
 	FramesSent      uint64
 	FramesDelivered uint64
 	Collisions      uint64 // receptions corrupted at this node
+}
+
+// reset returns the radio to its just-constructed state at pos, keeping
+// the neighbor-cache capacity. The caller re-inserts it into the grid and
+// reinstalls the handler (the MAC does so in its own reset).
+func (r *Radio) reset(pos geo.Point) {
+	r.pos = pos
+	r.handler = nil
+	r.OnFrameReleased = nil
+	r.nbCache = r.nbCache[:0]
+	r.nbValid = false
+	r.txUntil = 0
+	r.airCount = 0
+	r.decoding = nil
+	r.corrupted = false
+	r.txTime = 0
+	r.rxTime = 0
+	r.FramesSent = 0
+	r.FramesDelivered = 0
+	r.Collisions = 0
 }
 
 // SetHandler installs the MAC-layer handler.

@@ -41,6 +41,18 @@ func (g *spatialGrid) insert(r *Radio) {
 	g.cells[k] = append(g.cells[k], r)
 }
 
+// reset empties the grid while keeping bucket capacity: entries are nilled
+// and each bucket truncated in place. Empty buckets are harmless to forNear
+// and are deleted by move as radios leave them.
+func (g *spatialGrid) reset() {
+	for k, bucket := range g.cells {
+		for i := range bucket {
+			bucket[i] = nil
+		}
+		g.cells[k] = bucket[:0]
+	}
+}
+
 // move re-buckets a radio whose position changed from old to its current
 // pos. Cheap no-op when the move stays within one cell.
 func (g *spatialGrid) move(r *Radio, old geo.Point) {

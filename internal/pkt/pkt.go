@@ -150,6 +150,13 @@ func (u *Pool) Next() uint64 {
 	return u.nextUID
 }
 
+// Reset rewinds the id sequence for a new run while keeping the freelist.
+// Blocks still held by the previous run (packets in flight when it was cut
+// short) are simply dropped to the garbage collector: they are not on the
+// freelist, and Release fully re-zeroes blocks on the way in, so reuse can
+// never resurrect stale state.
+func (u *Pool) Reset() { u.nextUID = 0 }
+
 // get pops a recycled block (or allocates one) and stamps the common
 // pooled-packet state. The UID is drawn here, so pooled construction keeps
 // the exact id sequence of the old literal construction sites.

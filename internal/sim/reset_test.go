@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSchedulerResetMatchesFresh asserts a reset scheduler replays the same
+// clock, dispatch count and random stream as a freshly constructed one.
+func TestSchedulerResetMatchesFresh(t *testing.T) {
+	run := func(s *Scheduler) (Time, uint64, []int64) {
+		var draws []int64
+		s.At(time.Millisecond, func() { draws = append(draws, s.Rand().Int63()) })
+		s.After(2*time.Millisecond, func() { draws = append(draws, s.Rand().Int63n(1000)) })
+		s.Run()
+		return s.Now(), s.Dispatched(), draws
+	}
+
+	fresh := NewScheduler(42)
+	wantNow, wantDisp, wantDraws := run(fresh)
+
+	reused := NewScheduler(7)
+	// Dirty the reused scheduler: advance time, leave events pending.
+	reused.At(time.Millisecond, func() {})
+	reused.Run()
+	reused.At(time.Hour, func() { t.Fatal("pre-reset event fired after Reset") })
+	reused.Rand().Int63()
+
+	reused.Reset(42)
+	if reused.Now() != 0 || reused.Pending() != 0 || reused.Dispatched() != 0 {
+		t.Fatalf("after Reset: now=%v pending=%d dispatched=%d, want all zero",
+			reused.Now(), reused.Pending(), reused.Dispatched())
+	}
+	gotNow, gotDisp, gotDraws := run(reused)
+	if gotNow != wantNow || gotDisp != wantDisp {
+		t.Errorf("reset run: now=%v dispatched=%d, fresh: now=%v dispatched=%d",
+			gotNow, gotDisp, wantNow, wantDisp)
+	}
+	if len(gotDraws) != len(wantDraws) {
+		t.Fatalf("draw count %d != %d", len(gotDraws), len(wantDraws))
+	}
+	for i := range wantDraws {
+		if gotDraws[i] != wantDraws[i] {
+			t.Errorf("draw %d: reset %d, fresh %d", i, gotDraws[i], wantDraws[i])
+		}
+	}
+}
+
+// TestSchedulerResetKeepsRandIdentity asserts bindings to Rand() taken
+// before a reset observe the reseeded stream.
+func TestSchedulerResetKeepsRandIdentity(t *testing.T) {
+	s := NewScheduler(1)
+	rng := s.Rand()
+	rng.Int63()
+	s.Reset(1)
+	want := NewScheduler(1).Rand().Int63()
+	if got := rng.Int63(); got != want {
+		t.Errorf("pre-reset binding drew %d after reseed, want %d", got, want)
+	}
+}
+
+// TestTimerStaleAfterSchedulerReset asserts timers armed before a reset
+// report idle afterwards and can be re-armed normally.
+func TestTimerStaleAfterSchedulerReset(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	tm.Reset(time.Second)
+	if !tm.Pending() {
+		t.Fatal("armed timer not pending")
+	}
+	s.Reset(1)
+	if tm.Pending() {
+		t.Error("timer pending after scheduler reset")
+	}
+	if d := tm.Deadline(); d != 0 {
+		t.Errorf("stale Deadline = %v, want 0", d)
+	}
+	tm.Stop() // stale Stop must be a no-op
+	tm.Reset(time.Millisecond)
+	s.Run()
+	if fired != 1 {
+		t.Errorf("timer fired %d times, want 1 (only the post-reset arm)", fired)
+	}
+}

@@ -76,6 +76,7 @@ type Scheduler struct {
 	seq     uint64
 	heap    []*Event
 	free    *Event
+	src     rand.Source
 	rng     *rand.Rand
 	stopped bool
 	// dispatched counts events that have fired (for diagnostics and tests).
@@ -84,7 +85,28 @@ type Scheduler struct {
 
 // NewScheduler returns a scheduler whose random source is seeded with seed.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed)
+	return &Scheduler{src: src, rng: rand.New(src)}
+}
+
+// Reset rewinds the scheduler to the state NewScheduler(seed) would produce
+// while keeping every allocation: pending events move to the freelist, the
+// clock and sequence counter return to zero, and the random stream restarts
+// so a reset run draws the exact same values event for event. The *rand.Rand
+// returned by Rand keeps its identity across resets, so bindings taken
+// before the reset stay valid. Releasing the pending events bumps their
+// generations, which turns every outstanding EventRef (and Timer) into a
+// safe stale no-op.
+func (s *Scheduler) Reset(seed int64) {
+	for _, e := range s.heap {
+		s.release(e)
+	}
+	s.heap = s.heap[:0]
+	s.now = 0
+	s.seq = 0
+	s.stopped = false
+	s.dispatched = 0
+	s.src.Seed(seed)
 }
 
 // Now returns the current simulated time.

@@ -55,13 +55,15 @@ func (t *Timer) Stop() {
 	}
 }
 
-// Pending reports whether an expiry is scheduled.
-func (t *Timer) Pending() bool { return t.ref.e != nil }
+// Pending reports whether an expiry is scheduled. The check is
+// generation-validated, so a timer whose event was swept away by a
+// scheduler Reset correctly reports idle.
+func (t *Timer) Pending() bool { return t.ref.Pending() }
 
 // Deadline returns the time of the pending expiry; it is only meaningful
 // when Pending reports true.
 func (t *Timer) Deadline() Time {
-	if t.ref.e == nil {
+	if !t.ref.Pending() {
 		return 0
 	}
 	return t.deadline

@@ -34,6 +34,15 @@ func NewDurationHistogram(cap int, rng func(int64) int64) *DurationHistogram {
 	return &DurationHistogram{cap: cap, rng: rng}
 }
 
+// Reset forgets all observations while keeping the sample buffer and the
+// rng binding (which stays valid across a scheduler reseed).
+func (h *DurationHistogram) Reset() {
+	h.samples = h.samples[:0]
+	h.n = 0
+	h.sum = 0
+	h.max = 0
+}
+
 // Add records one sample.
 func (h *DurationHistogram) Add(d time.Duration) {
 	h.n++

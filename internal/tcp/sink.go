@@ -123,6 +123,29 @@ func NewSink(sched *sim.Scheduler, flow int, src, dst pkt.NodeID, policy AckPoli
 	return s
 }
 
+// Reset rebinds the sink to a new run, keeping the buffer map and the
+// regeneration timer. The flow identity and output are taken fresh for the
+// same reason as Engine.Reset; the Delay hook is cleared for the owner to
+// reinstall. Call after the scheduler was reset.
+func (s *Sink) Reset(flow int, src, dst pkt.NodeID, policy AckPolicy, out Output) {
+	if out == nil {
+		panic("tcp: nil output")
+	}
+	s.out = out
+	s.flow = flow
+	s.src = src
+	s.dst = dst
+	s.policy = policy
+	s.rcvNext = 0
+	clear(s.buffer)
+	s.pending = 0
+	s.lastTS = 0
+	s.regenTimer.Stop()
+	s.lastRtx = false
+	s.statsCurrent = SinkStats{}
+	s.Delay = nil
+}
+
 // Stats snapshots receiver counters.
 func (s *Sink) Stats() SinkStats { return s.statsCurrent }
 

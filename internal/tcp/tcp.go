@@ -328,6 +328,49 @@ func NewEngine(sched *sim.Scheduler, cfg Config, flow int, src, dst pkt.NodeID, 
 	return e
 }
 
+// Reset rebinds the engine to a new run over the same scheduler, exactly
+// as NewEngine would construct it, while keeping the allocated map and
+// timers. The flow identity and output are taken fresh — a reused engine
+// may serve a different flow (generator scenarios draw flows per seed) —
+// and a fresh congestion-control strategy is bound in (strategies carry
+// per-run state). Call after the scheduler was reset, which swept the
+// retransmission and pacing timers.
+func (e *Engine) Reset(cfg Config, flow int, src, dst pkt.NodeID, out Output, cc CongestionControl) {
+	if out == nil {
+		panic("tcp: nil output")
+	}
+	if cc == nil {
+		panic("tcp: nil congestion control")
+	}
+	e.cfg = cfg.withDefaults()
+	e.out = out
+	e.cc = cc
+	e.afterAck = nil
+	e.flow = flow
+	e.src = src
+	e.dst = dst
+	e.nextSeq = 0
+	e.maxSeq = 0
+	e.ackNext = 0
+	e.cwnd = float64(e.cfg.Winit)
+	clear(e.sentAt)
+	e.srtt, e.rttvar = 0, 0
+	e.hasRTT = false
+	e.rto = e.cfg.InitialRTO
+	e.backoff = 1
+	e.rtxTimer.Stop()
+	e.paceGap = nil
+	if e.paceTimer != nil {
+		e.paceTimer.Stop()
+	}
+	e.stats = Stats{}
+	e.winHist = stats.TimeWeighted{}
+	cc.Init(e)
+	if f, ok := cc.(ackFinisher); ok {
+		e.afterAck = f.AfterAck
+	}
+}
+
 // Config returns the engine's defaulted configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
@@ -372,13 +415,15 @@ func (e *Engine) SentAt(seq int64) (sim.Time, bool) {
 // EnablePacing switches the engine from ACK-clocked burst transmission to
 // rate pacing: as long as the window has room, one packet leaves per gap()
 // interval. Strategies call this from Init; the pacing timer is allocated
-// here, at build time.
+// here, at build time, and reused when the engine is Reset for a new run.
 func (e *Engine) EnablePacing(gap func() time.Duration) {
 	if gap == nil {
 		panic("tcp: nil pacing gap")
 	}
 	e.paceGap = gap
-	e.paceTimer = sim.NewTimer(e.sched, e.pump)
+	if e.paceTimer == nil {
+		e.paceTimer = sim.NewTimer(e.sched, e.pump)
+	}
 }
 
 // Start begins the transfer.

@@ -42,6 +42,26 @@ func NewSender(sched *sim.Scheduler, flow int, src, dst pkt.NodeID, gap time.Dur
 	return s
 }
 
+// Reset rebinds the source to a new run over the same scheduler, keeping
+// the timer. The flow identity, gap and output are taken fresh. Call after
+// the scheduler was reset.
+func (s *Sender) Reset(flow int, src, dst pkt.NodeID, gap time.Duration, out func(p *pkt.Packet)) {
+	if gap <= 0 {
+		panic("udp: non-positive pacing gap")
+	}
+	if out == nil {
+		panic("udp: nil output")
+	}
+	s.out = out
+	s.flow = flow
+	s.src = src
+	s.dst = dst
+	s.gap = gap
+	s.timer.Stop()
+	s.nextSeq = 0
+	s.Sent = 0
+}
+
 // Start begins paced transmission.
 func (s *Sender) Start() { s.tick() }
 
@@ -88,6 +108,17 @@ type Sink struct {
 // NewSink creates a counting sink.
 func NewSink() *Sink {
 	return &Sink{highest: -1, seen: make(map[int64]bool)}
+}
+
+// Reset rewinds the sink for a new run, keeping the dedup map's capacity.
+// The Delay/Now hooks are cleared for the owner to reinstall.
+func (s *Sink) Reset() {
+	s.Received = 0
+	s.Dups = 0
+	s.highest = -1
+	clear(s.seen)
+	s.Delay = nil
+	s.Now = nil
 }
 
 // HandleData processes one arriving packet.

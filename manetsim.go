@@ -271,6 +271,20 @@ func RunConfig(ctx context.Context, cfg Config) (*Result, error) {
 	return core.RunContext(ctx, cfg)
 }
 
+// World is a reusable run arena. It keeps every allocation a run makes —
+// scheduler heap, channel and spatial grid, per-node MAC and routing
+// stacks, transport engines, packet pool — and rewinds them in place for
+// the next run instead of rebuilding from scratch. Results are
+// byte-identical to fresh runs of the same Config. A World is not safe for
+// concurrent use, but separate Worlds run concurrently without
+// restriction; Campaign pools one per worker automatically, so explicit
+// Worlds are only needed for custom replicate loops.
+type World = core.World
+
+// NewWorld returns an empty arena: the first run builds the full
+// simulation state and subsequent runs reuse it.
+func NewWorld() *World { return core.NewWorld() }
+
 // FourHopPropagationDelay returns the paper's Table 2 value for a given
 // rate: the minimal link-layer delay for a TCP data packet to advance four
 // hops along a chain with zero queueing.
