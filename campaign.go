@@ -13,7 +13,14 @@ import (
 	"manetsim/internal/core"
 	"manetsim/internal/pkt"
 	"manetsim/internal/stats"
+	"manetsim/internal/store"
 )
+
+// ResultSchemaVersion identifies the JSON encoding of Result envelopes in
+// the persistent result store. Bump it whenever Result's encoding changes
+// incompatibly: stored results carrying any other version are detected
+// and treated as cache misses — re-run, never silently misparsed.
+const ResultSchemaVersion = 1
 
 // Scale sets a campaign's default per-run measurement budget; configs that
 // set their own TotalPackets/BatchPackets/Seed keep them. PaperScale
@@ -44,7 +51,12 @@ var (
 // for each simulation once.
 type Campaign struct {
 	Scale Scale
+
 	// Workers bounds parallel simulations (default GOMAXPROCS).
+	//
+	// Deprecated: pass WithWorkers to NewCampaign instead. The field
+	// keeps working (set it before the first run) but new code should
+	// configure campaigns through CampaignOptions.
 	Workers int
 
 	// DisableArenaReuse makes every campaign run build its world from
@@ -52,7 +64,22 @@ type Campaign struct {
 	// per-worker pool. Results are identical either way — arena reuse is
 	// byte-exact — so this exists as a diagnostic escape hatch and as the
 	// honest baseline for the replicate-throughput benchmark.
+	//
+	// Deprecated: pass WithoutArenaReuse to NewCampaign instead. The
+	// field keeps working (set it before the first run) but new code
+	// should configure campaigns through CampaignOptions.
 	DisableArenaReuse bool
+
+	// storeDir, when set via WithStore, roots the persistent result
+	// store; the store itself opens at init so open errors surface from
+	// the first run instead of panicking in the option.
+	storeDir string
+	store    *store.Store
+	storeErr error
+
+	// executed counts simulations actually run by this campaign —
+	// in-memory cache hits and persistent-store hits excluded.
+	executed atomic.Int64
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -69,9 +96,15 @@ type Campaign struct {
 	gapMemo map[string]time.Duration
 }
 
-// NewCampaign creates a campaign at the given scale.
-func NewCampaign(scale Scale) *Campaign {
-	return &Campaign{Scale: scale}
+// NewCampaign creates a campaign at the given scale. Options configure
+// the service-level knobs: WithWorkers (parallelism), WithStore (the
+// persistent, restart-surviving result store), WithoutArenaReuse.
+func NewCampaign(scale Scale, opts ...CampaignOption) *Campaign {
+	c := &Campaign{Scale: scale}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 func (c *Campaign) init() {
@@ -83,7 +116,79 @@ func (c *Campaign) init() {
 		c.cache = make(map[string]*cacheEntry)
 		c.arenas = make(chan *core.World, c.Workers)
 		c.gapMemo = make(map[string]time.Duration)
+		if c.storeDir != "" {
+			c.store, c.storeErr = store.Open(c.storeDir, ResultSchemaVersion)
+		}
 	})
+}
+
+// ready initializes the campaign and surfaces configuration errors that
+// could not be reported where they were made (the store directory from
+// WithStore opens lazily, at first use).
+func (c *Campaign) ready() error {
+	c.init()
+	return c.storeErr
+}
+
+// Ready forces the campaign's lazy initialization and reports any
+// configuration error — most usefully an unusable WithStore directory.
+// Every Run/Sweep surfaces the same error on first use; Ready exists so
+// long-running services ("manetsim serve") can fail fast at startup
+// instead of on the first submitted sweep.
+func (c *Campaign) Ready() error { return c.ready() }
+
+// Executed returns how many simulations this campaign actually ran —
+// results served from the in-memory cache or the persistent store are
+// not counted. It is the observable behind resumable sweeps: re-running
+// a completed sweep against the same store executes zero simulations.
+func (c *Campaign) Executed() int64 { return c.executed.Load() }
+
+// storeGet fetches a stored result by cache key; any miss, decode
+// failure or schema mismatch re-runs the simulation instead.
+func (c *Campaign) storeGet(key string) (*Result, bool) {
+	if c.store == nil {
+		return nil, false
+	}
+	raw, ok := c.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	res := new(Result)
+	if err := json.Unmarshal(raw, res); err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// storePut persists a completed result, best-effort: the store is a
+// cache, so a failed write (full disk, permissions) costs a future
+// re-run, never the current result.
+func (c *Campaign) storePut(key string, res *Result) {
+	if c.store == nil {
+		return
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	_ = c.store.Put(key, raw)
+}
+
+// runStored executes one fully scaled config through the persistent
+// store: completed results load from disk without simulating, fresh
+// results are simulated and persisted. The caller must hold a worker
+// slot (see runCore).
+func (c *Campaign) runStored(ctx context.Context, key string, cfg Config) (*Result, error) {
+	if res, ok := c.storeGet(key); ok {
+		return res, nil
+	}
+	res, err := c.runCore(ctx, cfg)
+	if err != nil {
+		return res, err
+	}
+	c.executed.Add(1)
+	c.storePut(key, res)
+	return res, nil
 }
 
 // runCore executes one fully scaled config, reusing a pooled arena unless
@@ -131,19 +236,10 @@ func (c *Campaign) scaled(cfg Config) Config {
 // goroutines, breaking Observer's single-threaded contract.
 var errCampaignObserver = errors.New("manetsim: campaign runs do not support Config.Observer — results may be served from the shared cache without re-running, and sweeps run in parallel; attach observers to direct Run calls instead")
 
-// configKey derives the cache key from a config by encoding every field by
-// value. JSON encoding is deterministic (struct order, no map fields) and
-// follows the Scenario pointer into its nodes and flows, so two
-// independently built but equal scenarios share a key; the Observer field
-// is excluded by its json:"-" tag.
-func configKey(cfg Config) string {
-	b, err := json.Marshal(cfg)
-	if err != nil {
-		// Config is a plain data struct; encoding cannot fail.
-		panic(fmt.Sprintf("manetsim: encoding campaign cache key: %v", err))
-	}
-	return string(b)
-}
+// configKey derives the cache key from a config: Config.CacheKey, the
+// canonical JSON-by-value identity shared by the in-memory cache and the
+// persistent store.
+func configKey(cfg Config) string { return cfg.CacheKey() }
 
 // errAborted marks work skipped because an earlier item in the same
 // fan-out already failed. It never escapes runParallel: the first real
@@ -276,7 +372,7 @@ func (c *Campaign) cachedRun(ctx context.Context, cfg Config, abort *atomic.Bool
 	}
 	return c.withSlot(ctx, abort, func() (*Result, error) {
 		e.once.Do(func() {
-			e.res, e.err = c.runCore(ctx, cfg)
+			e.res, e.err = c.runStored(ctx, key, cfg)
 			if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
 				c.forget(key, e)
 			}
@@ -287,9 +383,11 @@ func (c *Campaign) cachedRun(ctx context.Context, cfg Config, abort *atomic.Bool
 }
 
 // Run executes one config — scaled to the campaign's Scale — through the
-// cache.
+// cache (and, when configured, the persistent store).
 func (c *Campaign) Run(ctx context.Context, cfg Config) (*Result, error) {
-	c.init()
+	if err := c.ready(); err != nil {
+		return nil, err
+	}
 	return c.cachedRun(ctx, c.scaled(cfg), nil)
 }
 
@@ -306,7 +404,9 @@ func (c *Campaign) RunScenario(ctx context.Context, scn *Scenario, opts ...Optio
 // RunAll executes configs in parallel, preserving order and returning the
 // first failure without draining the rest of the sweep.
 func (c *Campaign) RunAll(ctx context.Context, cfgs []Config) ([]*Result, error) {
-	c.init()
+	if err := c.ready(); err != nil {
+		return nil, err
+	}
 	return c.runParallel(len(cfgs), func(i int, abort *atomic.Bool) (*Result, error) {
 		return c.cachedRun(ctx, c.scaled(cfgs[i]), abort)
 	})
@@ -330,10 +430,61 @@ type Sweep struct {
 	Base Config
 }
 
+// CellKey is the canonical, stable address of one sweep cell — the
+// scenario x transport x rate point with its seed replication set —
+// rendered as the deterministic JSON encoding of those four values. The
+// in-memory cache, the on-disk result store and the HTTP results API all
+// address cells through it, so the same cell keys identically across
+// processes, machines and binaries. Compact derived forms come from
+// Hash.
+type CellKey string
+
+// NewCellKey derives the canonical key of a cell. Two independently
+// built but equal scenario values produce the same key (the encoding
+// follows the pointer into nodes and flows).
+func NewCellKey(scn *Scenario, t TransportSpec, r Rate, seeds []int64) CellKey {
+	b, err := json.Marshal(struct {
+		Scenario  *Scenario
+		Transport TransportSpec
+		Rate      Rate
+		Seeds     []int64
+	}{scn, t, r, seeds})
+	if err != nil {
+		// All four components are plain data; encoding cannot fail.
+		panic(fmt.Sprintf("manetsim: encoding cell key: %v", err))
+	}
+	return CellKey(b)
+}
+
+// Hash returns the hex SHA-256 of the key: a fixed-width identifier for
+// URLs, filenames and logs. The full key remains the source of truth.
+func (k CellKey) Hash() string { return store.Hash(string(k)) }
+
+// FindCell returns the cell addressed by key, searching a Sweep's
+// result set. It is the canonical lookup; use it instead of relying on
+// grid position.
+func FindCell(cells []Cell, key CellKey) (*Cell, bool) {
+	for i := range cells {
+		if cells[i].Key == key {
+			return &cells[i], true
+		}
+	}
+	return nil, false
+}
+
 // Cell is one point of a sweep grid with its replicated runs and the
 // across-replicate estimates of the headline metrics. For a single seed
 // the estimates carry the run's value with a zero-width interval.
+//
+// Key is the cell's canonical address (see CellKey); disk storage, the
+// HTTP results API and FindCell all identify cells by it. The
+// Scenario/Transport/Rate/Seeds fields and the grid ordering of Sweep's
+// return value (scenarios outermost, matching the input axes) are kept
+// as the legacy positional access and remain stable for existing
+// callers; new code should address cells by Key.
 type Cell struct {
+	Key CellKey
+
 	Scenario  *Scenario
 	Transport TransportSpec
 	Rate      Rate
@@ -348,36 +499,80 @@ type Cell struct {
 	Jain    Estimate // Jain's fairness index
 }
 
-// Sweep executes the full grid (deduplicated through the cache, in
-// parallel) and returns one aggregated Cell per scenario x transport x
-// rate combination, in grid order with scenarios outermost.
-func (c *Campaign) Sweep(ctx context.Context, sw Sweep) ([]Cell, error) {
-	c.init()
-	if len(sw.Scenarios) == 0 {
-		return nil, errors.New("manetsim: Sweep needs at least one Scenario")
-	}
-	transports := sw.Transports
+// axes returns the sweep's effective transport, rate and seed axes after
+// empty-axis collapse: empty Transports/Rates fall back to the Base
+// config's value, empty Seeds to the campaign scale's seed.
+func (sw Sweep) axes(scaleSeed int64) (transports []TransportSpec, rates []Rate, seeds []int64) {
+	transports = sw.Transports
 	if len(transports) == 0 {
 		transports = []TransportSpec{sw.Base.Transport}
 	}
-	rates := sw.Rates
+	rates = sw.Rates
 	if len(rates) == 0 {
 		rates = []Rate{sw.Base.Bandwidth}
 	}
-	seeds := sw.Seeds
+	seeds = sw.Seeds
 	if len(seeds) == 0 {
-		seed := c.Scale.Seed
-		if seed == 0 {
-			seed = 1
+		if scaleSeed == 0 {
+			scaleSeed = 1
 		}
-		seeds = []int64{seed}
+		seeds = []int64{scaleSeed}
 	}
+	return transports, rates, seeds
+}
+
+// GridSize returns how many runs the sweep expands to under the given
+// campaign scale (cells x seed replicates).
+func (sw Sweep) GridSize(scale Scale) int {
+	transports, rates, seeds := sw.axes(scale.Seed)
+	return len(sw.Scenarios) * len(transports) * len(rates) * len(seeds)
+}
+
+// SweepEvent reports one completed run of a sweep grid to a progress
+// callback: which cell the run belongs to, its seed, and the grid-wide
+// completion count. Result is the run's full measurement set. Events
+// fire for every completed run — including runs served from the cache or
+// the persistent store, which is what makes resumed sweeps report
+// complete progress.
+type SweepEvent struct {
+	Key    CellKey
+	Seed   int64
+	Done   int // runs completed so far, including this one
+	Total  int // total runs in the grid
+	Result *Result
+}
+
+// Sweep executes the full grid (deduplicated through the cache and, when
+// configured, the persistent store, in parallel) and returns one
+// aggregated Cell per scenario x transport x rate combination, in grid
+// order with scenarios outermost. With a store attached (WithStore) the
+// sweep is resumable: completed cells load from disk, so a killed sweep
+// restarted against the same store re-runs only the incomplete remainder.
+func (c *Campaign) Sweep(ctx context.Context, sw Sweep) ([]Cell, error) {
+	return c.SweepProgress(ctx, sw, nil)
+}
+
+// SweepProgress is Sweep with a streaming progress callback: onRun is
+// invoked once per completed run, serialized (never concurrently) and in
+// completion order. A nil onRun is Sweep. The callback must not block
+// for long — it is on the completion path of every worker.
+func (c *Campaign) SweepProgress(ctx context.Context, sw Sweep, onRun func(SweepEvent)) ([]Cell, error) {
+	if err := c.ready(); err != nil {
+		return nil, err
+	}
+	if len(sw.Scenarios) == 0 {
+		return nil, errors.New("manetsim: Sweep needs at least one Scenario")
+	}
+	transports, rates, seeds := sw.axes(c.Scale.Seed)
 	var cells []Cell
 	var cfgs []Config
 	for _, scn := range sw.Scenarios {
 		for _, t := range transports {
 			for _, r := range rates {
-				cells = append(cells, Cell{Scenario: scn, Transport: t, Rate: r, Seeds: seeds})
+				cells = append(cells, Cell{
+					Key:      NewCellKey(scn, t, r, seeds),
+					Scenario: scn, Transport: t, Rate: r, Seeds: seeds,
+				})
 				for _, seed := range seeds {
 					cfg := sw.Base
 					cfg.Scenario = scn
@@ -389,7 +584,26 @@ func (c *Campaign) Sweep(ctx context.Context, sw Sweep) ([]Cell, error) {
 			}
 		}
 	}
-	results, err := c.RunAll(ctx, cfgs)
+	var (
+		progressMu sync.Mutex
+		done       int
+	)
+	results, err := c.runParallel(len(cfgs), func(i int, abort *atomic.Bool) (*Result, error) {
+		res, err := c.cachedRun(ctx, c.scaled(cfgs[i]), abort)
+		if err == nil && onRun != nil {
+			progressMu.Lock()
+			done++
+			onRun(SweepEvent{
+				Key:    cells[i/len(seeds)].Key,
+				Seed:   seeds[i%len(seeds)],
+				Done:   done,
+				Total:  len(cfgs),
+				Result: res,
+			})
+			progressMu.Unlock()
+		}
+		return res, err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -421,10 +635,14 @@ func (cell *Cell) aggregate() {
 // OptimalUDPGap finds the paced-UDP inter-packet time that maximizes
 // goodput for a chain of the given hop count, following the paper's
 // procedure: start from the analytic 4-hop propagation delay and increase
-// t gradually, keeping the best measured goodput. Results are memoized per
-// campaign.
+// t gradually, keeping the best measured goodput. The winning gap is
+// memoized per campaign, and with a store attached (WithStore) the probe
+// runs themselves persist, so repeating the search in a fresh process
+// executes zero simulations.
 func (c *Campaign) OptimalUDPGap(ctx context.Context, hops int, rate Rate) (time.Duration, error) {
-	c.init()
+	if err := c.ready(); err != nil {
+		return 0, err
+	}
 	key := fmt.Sprintf("%d@%v", hops, rate)
 	c.gapMu.Lock()
 	if g, ok := c.gapMemo[key]; ok {
@@ -458,10 +676,13 @@ func (c *Campaign) OptimalUDPGap(ctx context.Context, hops int, rate Rate) (time
 		}
 		cfgs = append(cfgs, cfg)
 	}
-	// Bypass the scale rewrite and the cache: these quarter-budget probe
-	// runs are keyed by the memo, not the result cache.
+	// Bypass the scale rewrite and the in-memory cache — these
+	// quarter-budget probes are keyed by the memo — but go through the
+	// persistent store, so the search is free across processes too.
 	results, err := c.runParallel(len(cfgs), func(i int, abort *atomic.Bool) (*Result, error) {
-		return c.withSlot(ctx, abort, func() (*Result, error) { return c.runCore(ctx, cfgs[i]) })
+		return c.withSlot(ctx, abort, func() (*Result, error) {
+			return c.runStored(ctx, cfgs[i].CacheKey(), cfgs[i])
+		})
 	})
 	if err != nil {
 		return 0, err

@@ -4,6 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -75,17 +78,35 @@ func TestCampaignArenaReuseMatchesFreshBuilds(t *testing.T) {
 
 func TestConfigKeyFollowsScenarioValues(t *testing.T) {
 	a, b := benchChainCfg(4), benchChainCfg(4)
-	if configKey(a) != configKey(b) {
+	if a.CacheKey() != b.CacheKey() {
 		t.Fatal("independently built equal scenarios keyed differently")
 	}
 	b.Scenario.Flows[0].Start = time.Second
-	if configKey(a) == configKey(b) {
+	if a.CacheKey() == b.CacheKey() {
 		t.Fatal("configs with different flow start times share a cache key")
 	}
 	c := benchChainCfg(4)
 	c.Observer = ObserverFuncs{} // must not enter the key
-	if configKey(a) != configKey(c) {
+	if a.CacheKey() != c.CacheKey() {
 		t.Fatal("attaching an observer changed the cache key")
+	}
+}
+
+// TestConfigCacheKeyIsCanonicalJSON pins the public contract behind the
+// persistent store: the key is the config's deterministic JSON encoding
+// (what older campaign versions computed internally), so on-disk
+// addresses stay stable across binaries.
+func TestConfigCacheKeyIsCanonicalJSON(t *testing.T) {
+	cfg := benchChainCfg(3)
+	want, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.CacheKey(); got != string(want) {
+		t.Fatalf("CacheKey = %s, want the canonical JSON %s", got, want)
+	}
+	if got := configKey(cfg); got != cfg.CacheKey() {
+		t.Fatal("campaign cache key diverged from Config.CacheKey")
 	}
 }
 
@@ -287,6 +308,244 @@ func TestCampaignRejectsObserver(t *testing.T) {
 	if _, err := c.Run(context.Background(), cfg); err == nil ||
 		!strings.Contains(err.Error(), "do not support Config.Observer") {
 		t.Fatalf("observer-carrying campaign run returned %v, want a named rejection", err)
+	}
+}
+
+// storeSweep is the grid the resume tests run: 2 scenarios x 2
+// transports x seeds, at a small explicit budget.
+func storeSweep(seeds ...int64) Sweep {
+	return Sweep{
+		Scenarios:  []*Scenario{Chain(2), Chain(3)},
+		Transports: []TransportSpec{{Protocol: Vegas, Alpha: 2}, {Protocol: NewReno}},
+		Seeds:      seeds,
+		Base:       Config{TotalPackets: 550, BatchPackets: 50},
+	}
+}
+
+// TestCampaignSweepResumesFromStore is the kill-and-resume demo as a
+// test: a sweep completed against a store, re-run by a *fresh* campaign
+// (fresh process, as far as the store can tell), must execute zero
+// simulations; widening the grid executes exactly the new cells.
+func TestCampaignSweepResumesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	first := NewCampaign(BenchScale, WithStore(dir))
+	cells1, err := first.Sweep(ctx, storeSweep(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := first.Executed(); got != 8 {
+		t.Fatalf("first sweep executed %d runs, want 8", got)
+	}
+
+	// Restart: a new campaign (empty in-memory cache) over the same dir.
+	resumed := NewCampaign(BenchScale, WithStore(dir))
+	cells2, err := resumed.Sweep(ctx, storeSweep(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Executed(); got != 0 {
+		t.Fatalf("resumed sweep executed %d runs, want 0 (all cells completed)", got)
+	}
+	for i := range cells1 {
+		if cells1[i].Key != cells2[i].Key {
+			t.Fatalf("cell %d keyed differently across restarts", i)
+		}
+		a, _ := json.Marshal(cells1[i].Runs)
+		b, _ := json.Marshal(cells2[i].Runs)
+		if string(a) != string(b) {
+			t.Errorf("cell %d: store-loaded runs differ from the originals", i)
+		}
+	}
+
+	// Widening the seed axis re-runs only the incomplete remainder.
+	widened := NewCampaign(BenchScale, WithStore(dir))
+	if _, err := widened.Sweep(ctx, storeSweep(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := widened.Executed(); got != 4 {
+		t.Fatalf("widened sweep executed %d runs, want only the 4 seed-3 cells", got)
+	}
+}
+
+// TestCampaignInterruptedSweepResumes cancels a sweep mid-flight and
+// restarts it against the same store: every run that completed before
+// the kill must be skipped on resume.
+func TestCampaignInterruptedSweepResumes(t *testing.T) {
+	dir := t.TempDir()
+	sw := storeSweep(1, 2)
+	total := int64(sw.GridSize(BenchScale))
+
+	interrupted := NewCampaign(BenchScale, WithWorkers(1), WithStore(dir))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := interrupted.SweepProgress(ctx, sw, func(ev SweepEvent) {
+		if ev.Done == 2 {
+			cancel() // kill the campaign after the second completed run
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep returned %v, want context.Canceled", err)
+	}
+
+	resumed := NewCampaign(BenchScale, WithStore(dir))
+	cells, err := resumed.Sweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least the two runs observed complete before the cancel were
+	// persisted (an in-flight third may have finished too), so the
+	// resumed campaign re-runs strictly less than the full grid and the
+	// two sweeps together never exceed grid + in-flight slack.
+	if got := resumed.Executed(); got > total-2 {
+		t.Fatalf("resumed sweep executed %d of %d runs, want <= %d (completed cells skipped)",
+			got, total, total-2)
+	}
+	for _, cell := range cells {
+		if cell.Goodput.Mean <= 0 || len(cell.Runs) != 2 {
+			t.Fatalf("resumed cell %s incomplete", cell.Transport.Label())
+		}
+	}
+}
+
+// TestCampaignStoreCorruptEntryReruns ends-to-end the corruption
+// contract: mangling one stored file costs exactly one re-run, silently.
+func TestCampaignStoreCorruptEntryReruns(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	first := NewCampaign(BenchScale, WithStore(dir))
+	if _, err := first.Sweep(ctx, storeSweep(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := first.Executed(); got != 4 {
+		t.Fatalf("seed sweep executed %d, want 4", got)
+	}
+	var victim string
+	filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && victim == "" {
+			victim = path
+		}
+		return nil
+	})
+	if victim == "" {
+		t.Fatal("store holds no files after a sweep")
+	}
+	if err := os.Truncate(victim, 10); err != nil {
+		t.Fatal(err)
+	}
+	resumed := NewCampaign(BenchScale, WithStore(dir))
+	if _, err := resumed.Sweep(ctx, storeSweep(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Executed(); got != 1 {
+		t.Fatalf("after corrupting one entry the resume executed %d runs, want exactly 1", got)
+	}
+}
+
+func TestCampaignWithStoreBadDirSurfacesError(t *testing.T) {
+	// A file where the store directory should be: Open must fail, and the
+	// failure must surface from the campaign's entry points.
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCampaign(BenchScale, WithStore(filepath.Join(file, "store")))
+	if err := c.Ready(); err == nil {
+		t.Fatal("Ready with an unopenable store reported no error")
+	}
+	if _, err := c.Run(context.Background(), benchChainCfg(2)); err == nil {
+		t.Fatal("campaign with an unopenable store ran anyway")
+	}
+	if _, err := c.Sweep(context.Background(), storeSweep(1)); err == nil {
+		t.Fatal("sweep with an unopenable store ran anyway")
+	}
+
+	good := NewCampaign(BenchScale, WithStore(t.TempDir()))
+	if err := good.Ready(); err != nil {
+		t.Fatalf("Ready with a usable store: %v", err)
+	}
+}
+
+func TestCellKeyAddressing(t *testing.T) {
+	c := NewCampaign(BenchScale)
+	sw := storeSweep(1, 2)
+	cells, err := c.Sweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[CellKey]bool{}
+	for _, cell := range cells {
+		if cell.Key == "" {
+			t.Fatal("sweep cell carries no key")
+		}
+		if seen[cell.Key] {
+			t.Fatalf("duplicate cell key %s", cell.Key)
+		}
+		seen[cell.Key] = true
+		// The key is derivable from the cell's legacy positional fields —
+		// the two addressing schemes agree.
+		if want := NewCellKey(cell.Scenario, cell.Transport, cell.Rate, cell.Seeds); cell.Key != want {
+			t.Fatalf("cell key %s, want %s", cell.Key, want)
+		}
+		got, ok := FindCell(cells, cell.Key)
+		if !ok || got.Goodput != cell.Goodput {
+			t.Fatalf("FindCell(%s) did not return the cell", cell.Key.Hash())
+		}
+		if h := cell.Key.Hash(); len(h) != 64 {
+			t.Fatalf("key hash %q is not hex sha256", h)
+		}
+	}
+	// Independently built equal scenarios address the same cell.
+	if k := NewCellKey(Chain(2), TransportSpec{Protocol: Vegas, Alpha: 2}, 0, []int64{1, 2}); k != cells[0].Key {
+		t.Fatalf("independently built key %s, want %s", k, cells[0].Key)
+	}
+	if _, ok := FindCell(cells, CellKey("nope")); ok {
+		t.Fatal("FindCell invented a cell")
+	}
+}
+
+func TestCampaignOptionsConfigure(t *testing.T) {
+	c := NewCampaign(BenchScale, WithWorkers(3), WithoutArenaReuse())
+	if c.Workers != 3 || !c.DisableArenaReuse {
+		t.Fatalf("options not applied: workers=%d reuse-disabled=%v", c.Workers, c.DisableArenaReuse)
+	}
+	// The deprecated field forms keep working.
+	legacy := NewCampaign(BenchScale)
+	legacy.Workers = 2
+	legacy.DisableArenaReuse = true
+	if _, err := legacy.Run(context.Background(), benchChainCfg(2)); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Workers != 2 {
+		t.Fatal("legacy Workers field overridden by init")
+	}
+}
+
+// TestOptimalUDPGapProbesPersist runs the paper's pacing search twice —
+// second time from a fresh campaign over the same store — and requires
+// the repeat to execute zero simulations while agreeing on the gap.
+func TestOptimalUDPGapProbesPersist(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	first := NewCampaign(BenchScale, WithStore(dir))
+	gap1, err := first.OptimalUDPGap(ctx, 2, Rate2Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed() == 0 {
+		t.Fatal("gap search executed no probe runs")
+	}
+	second := NewCampaign(BenchScale, WithStore(dir))
+	gap2, err := second.OptimalUDPGap(ctx, 2, Rate2Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := second.Executed(); got != 0 {
+		t.Fatalf("repeated gap search executed %d probes, want 0 (served from the store)", got)
+	}
+	if gap1 != gap2 {
+		t.Fatalf("gap from the store %v differs from the measured %v", gap2, gap1)
 	}
 }
 

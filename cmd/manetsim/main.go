@@ -1,6 +1,7 @@
 // Command manetsim runs a single simulation scenario and prints its
-// measurements, or — with the bench subcommand — drives the performance
-// benchmark suite and its CI gate.
+// measurements; with the bench subcommand it drives the performance
+// benchmark suite and its CI gate, and with the serve subcommand it runs
+// as a long-lived simulation service over HTTP.
 //
 // Examples:
 //
@@ -15,6 +16,11 @@
 //	manetsim bench -json                      # run suite, write BENCH_<date>.json
 //	go test -bench=. ./internal/perf | manetsim bench -parse -out ci.json
 //	manetsim bench -compare BENCH_old.json ci.json
+//
+//	manetsim serve -addr :8971 -store /var/lib/manetsim/store
+//	curl -XPOST localhost:8971/api/v1/sweeps -d @sweep.json   # -> {"id":"sweep-1",...}
+//	curl -N localhost:8971/api/v1/sweeps/sweep-1/events       # NDJSON progress
+//	curl localhost:8971/api/v1/sweeps/sweep-1/results
 package main
 
 import (
@@ -31,6 +37,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		runBench(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
 		return
 	}
 	var (

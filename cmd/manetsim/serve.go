@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"manetsim"
+)
+
+// runServe starts the campaign-as-a-service HTTP mode: one shared
+// Campaign (worker-pooled arenas, in-memory cache, optional persistent
+// result store) behind the submit/status/results/events API.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8971", "listen address")
+		storeDir  = fs.String("store", "", "persistent result store directory; empty = in-memory cache only (sweeps are not resumable across restarts)")
+		workers   = fs.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		scaleName = fs.String("scale", "quick", "default per-run measurement budget: paper, quick or bench")
+	)
+	fs.Parse(args)
+
+	var scale manetsim.Scale
+	switch strings.ToLower(*scaleName) {
+	case "paper":
+		scale = manetsim.PaperScale
+	case "quick":
+		scale = manetsim.QuickScale
+	case "bench":
+		scale = manetsim.BenchScale
+	default:
+		fatalf("unknown scale %q (paper, quick, bench)", *scaleName)
+	}
+
+	var opts []manetsim.CampaignOption
+	if *workers > 0 {
+		opts = append(opts, manetsim.WithWorkers(*workers))
+	}
+	if *storeDir != "" {
+		opts = append(opts, manetsim.WithStore(*storeDir))
+	}
+	campaign := manetsim.NewCampaign(scale, opts...)
+	if err := campaign.Ready(); err != nil {
+		fatalf("serve: %v", err)
+	}
+	server := manetsim.NewServer(campaign)
+
+	if *storeDir != "" {
+		log.Printf("manetsim serve: result store at %s (schema v%d)", *storeDir, manetsim.ResultSchemaVersion)
+	} else {
+		log.Printf("manetsim serve: no -store directory; results are in-memory only")
+	}
+	log.Printf("manetsim serve: listening on http://%s/api/v1/ (scale %s)", *addr, scale.Name)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fatalf("serve: %v", err)
+	}
+}

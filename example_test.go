@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"manetsim"
@@ -206,4 +207,41 @@ func ExampleRun_cancellation() {
 	_, err := manetsim.Run(ctx, manetsim.Random(),
 		manetsim.WithTransport(manetsim.TransportSpec{Protocol: manetsim.Vegas}))
 	fmt.Println(err) // context.DeadlineExceeded once the budget is hit
+}
+
+// A Campaign with a persistent result store (WithStore) survives its
+// process: every completed run lands on disk under its content address,
+// so a killed sweep restarted against the same directory — here, a
+// second Campaign standing in for the restarted process — re-runs
+// nothing and serves every completed cell from the store.
+func ExampleCampaign_resume() {
+	dir, err := os.MkdirTemp("", "manetsim-store-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sweep := manetsim.Sweep{
+		Scenarios:  []*manetsim.Scenario{manetsim.Chain(2)},
+		Transports: []manetsim.TransportSpec{{Protocol: manetsim.Vegas}, {Protocol: manetsim.NewReno}},
+		Seeds:      []int64{1, 2},
+		Base:       manetsim.Config{TotalPackets: 550, BatchPackets: 50},
+	}
+
+	first := manetsim.NewCampaign(manetsim.QuickScale, manetsim.WithStore(dir))
+	if _, err := first.Sweep(context.Background(), sweep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first sweep:   %d simulations executed\n", first.Executed())
+
+	resumed := manetsim.NewCampaign(manetsim.QuickScale, manetsim.WithStore(dir))
+	cells, err := resumed.Sweep(context.Background(), sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed sweep: %d simulations executed, %d cells served from the store\n",
+		resumed.Executed(), len(cells))
+	// Output:
+	// first sweep:   4 simulations executed
+	// resumed sweep: 0 simulations executed, 2 cells served from the store
 }

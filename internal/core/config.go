@@ -9,6 +9,7 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -313,6 +314,22 @@ type Config struct {
 	// failures, retransmissions, window samples, progress). It is excluded
 	// from the JSON encoding so campaign cache keys stay value-based.
 	Observer Observer `json:"-"`
+}
+
+// CacheKey returns the canonical string identity of the config: its
+// deterministic JSON encoding by value (struct order is fixed, there are
+// no map fields, and the Scenario pointer is followed into its nodes and
+// flows, so two independently built but equal configs share a key). The
+// Observer field is excluded by its json:"-" tag — attaching one never
+// changes identity. Campaign's in-memory cache keys by this string, and
+// the persistent result store addresses files by its SHA-256.
+func (c Config) CacheKey() string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Config is a plain data struct; encoding cannot fail.
+		panic(fmt.Sprintf("core: encoding config cache key: %v", err))
+	}
+	return string(b)
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,178 @@
+// Package store is the persistent, content-addressed result store behind
+// Campaign: it maps a canonical cache-key string (the deterministic JSON
+// encoding of a run config) to a stored payload on disk, so completed
+// simulation results survive process restarts and are shared between
+// processes pointed at the same directory.
+//
+// Layout and durability model:
+//
+//   - The on-disk address of a key is the SHA-256 of the key string:
+//     <dir>/<aa>/<hash>.json, where <aa> is the first hex byte of the
+//     hash (a fan-out that keeps directories small on big sweeps).
+//   - Every file is a schema-versioned envelope carrying the full key
+//     alongside the payload, so version drift and (theoretical) hash
+//     collisions are both detected and treated as misses.
+//   - Writes are atomic: the envelope is written to a temp file in the
+//     same directory and renamed into place, so readers — including
+//     concurrent readers in other processes — only ever observe complete
+//     files. Concurrent writers of the same key race benignly: results
+//     are deterministic per key, so last-rename-wins is value-identical.
+//   - Reads never fail: a missing, truncated, corrupt, zero-length or
+//     version-mismatched file is a cache miss, never an error. The store
+//     is a cache; re-running the simulation is always a correct fallback.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// envelope is the on-disk frame around a stored payload. SchemaVersion
+// pins the payload encoding (results written by an incompatible binary
+// must be re-run, not misparsed) and Key guards against hash collisions
+// and misplaced files.
+type envelope struct {
+	SchemaVersion int             `json:"schemaVersion"`
+	Key           string          `json:"key"`
+	Result        json.RawMessage `json:"result"`
+}
+
+// Store is a content-addressed key→payload store rooted at one
+// directory. It is safe for concurrent use by multiple goroutines and
+// multiple processes.
+type Store struct {
+	dir    string
+	schema int
+}
+
+// Open roots a store at dir (created if needed) for payloads of the
+// given schema version. Stored entries with any other version read as
+// misses.
+func Open(dir string, schema int) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir, schema: schema}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Hash returns the hex SHA-256 of a key — the content address used for
+// file placement, and a compact stable identifier for logs and URLs.
+func Hash(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(h[:])
+}
+
+// Path returns the file a key is stored at (whether or not it exists).
+func (s *Store) Path(key string) string {
+	h := Hash(key)
+	return filepath.Join(s.dir, h[:2], h+".json")
+}
+
+// Get returns the payload stored under key. Every failure mode — absent,
+// empty, truncated, corrupt, schema-mismatched or key-mismatched file —
+// reports a miss.
+func (s *Store) Get(key string) (json.RawMessage, bool) {
+	b, err := os.ReadFile(s.Path(key))
+	if err != nil || len(b) == 0 {
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, false
+	}
+	if env.SchemaVersion != s.schema || env.Key != key || emptyPayload(env.Result) {
+		return nil, false
+	}
+	return env.Result, true
+}
+
+// emptyPayload reports an absent payload: a missing result field decodes
+// to nil or the literal null, neither of which is a storable result.
+func emptyPayload(p json.RawMessage) bool {
+	return len(p) == 0 || string(p) == "null"
+}
+
+// Put stores payload under key atomically: the envelope lands via a
+// temp-file write and rename, so a concurrent Get (or a crash mid-write)
+// can only observe the old state or the complete new file.
+func (s *Store) Put(key string, payload json.RawMessage) error {
+	b, err := json.Marshal(envelope{SchemaVersion: s.schema, Key: key, Result: payload})
+	if err != nil {
+		return fmt.Errorf("store: encoding envelope: %w", err)
+	}
+	target := s.Path(key)
+	dir := filepath.Dir(target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// The temp file lives in the target's directory so the rename stays
+	// within one filesystem (atomic on every POSIX filesystem).
+	f, err := os.CreateTemp(dir, ".put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing %s: %w", target, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing %s: %w", target, err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, target); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publishing %s: %w", target, err)
+	}
+	return nil
+}
+
+// Len walks the store and counts complete, well-formed entries of the
+// store's schema version (corrupt files are skipped, matching Get).
+// It exists for observability and tests, not hot paths.
+func (s *Store) Len() int {
+	n := 0
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() || filepath.Ext(f.Name()) != ".json" {
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join(s.dir, e.Name(), f.Name()))
+			if err != nil || len(b) == 0 {
+				continue
+			}
+			var env envelope
+			if json.Unmarshal(b, &env) != nil || env.SchemaVersion != s.schema || emptyPayload(env.Result) {
+				continue
+			}
+			n++
+		}
+	}
+	return n
+}

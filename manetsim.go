@@ -66,6 +66,16 @@
 // through a single-flight cache, bounds parallelism, applies a common
 // Scale, and aggregates seed replications into confidence intervals. See
 // Campaign.Sweep for declarative protocol x rate x scenario x seed grids.
+//
+// Campaigns also run as shared, durable infrastructure. WithStore
+// attaches a persistent content-addressed result store (every completed
+// run lands on disk under the SHA-256 of its Config.CacheKey), which
+// makes sweeps resumable — a killed week-long grid restarted against the
+// same directory re-runs only its incomplete cells — and shareable
+// between processes. Cells are addressed canonically by CellKey across
+// the in-memory cache, the disk store and the HTTP API. Server (the
+// "manetsim serve" subcommand) exposes a campaign over HTTP:
+// submit/status/results plus an NDJSON stream of per-run progress.
 package manetsim
 
 import (

@@ -53,3 +53,39 @@ func WithObserver(o Observer) Option {
 func WithoutCapture() Option {
 	return func(c *Config) { c.NoCapture = true }
 }
+
+// CampaignOption configures a Campaign at construction (NewCampaign),
+// mirroring Run's functional options. The exported Campaign struct
+// fields these replace (Workers, DisableArenaReuse) keep working as
+// deprecated aliases.
+type CampaignOption func(*Campaign)
+
+// WithWorkers bounds the campaign's parallel simulations (default
+// GOMAXPROCS). Cache and store hits never occupy a worker slot.
+func WithWorkers(n int) CampaignOption {
+	return func(c *Campaign) { c.Workers = n }
+}
+
+// WithoutArenaReuse makes every campaign run build its world from
+// scratch instead of drawing a reusable arena from the per-worker pool.
+// Results are identical either way — arena reuse is byte-exact — so this
+// is a diagnostic escape hatch and the honest baseline for the
+// replicate-throughput benchmark.
+func WithoutArenaReuse() CampaignOption {
+	return func(c *Campaign) { c.DisableArenaReuse = true }
+}
+
+// WithStore attaches a persistent, content-addressed result store rooted
+// at dir (created if needed): every completed run is written to
+// <dir>/<aa>/<sha256-of-cache-key>.json via an atomic rename, and every
+// run consults the store before simulating. The store is what makes
+// sweeps resumable — a killed campaign restarted against the same
+// directory re-runs only the cells that never completed — and shareable:
+// campaigns in different processes pointed at the same directory see
+// each other's results. Stored envelopes are schema-versioned
+// (ResultSchemaVersion); entries written by an incompatible binary and
+// corrupt files of any kind read as cache misses, never errors. Open
+// errors surface from the campaign's first run.
+func WithStore(dir string) CampaignOption {
+	return func(c *Campaign) { c.storeDir = dir }
+}

@@ -1,0 +1,351 @@
+package manetsim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Server exposes a Campaign as a long-running simulation service over
+// HTTP: clients submit sweep grids, poll their status, stream per-run
+// progress events, and fetch aggregated results. All submitted sweeps
+// share the server's campaign — its worker pool, warm World arenas,
+// in-memory cache and (when configured with WithStore) persistent result
+// store — so concurrent clients deduplicate overlapping work and a
+// restarted server resumes where the store left off.
+//
+// Endpoints (all under /api/v1):
+//
+//	POST /api/v1/sweeps              submit a Sweep (JSON body) -> 202 {id, total}
+//	GET  /api/v1/sweeps              list submitted sweeps
+//	GET  /api/v1/sweeps/{id}         status: state, done/total counts
+//	GET  /api/v1/sweeps/{id}/results aggregated cells once done (202 while running)
+//	GET  /api/v1/sweeps/{id}/events  NDJSON progress stream (replays, then live)
+//	GET  /api/v1/transports          the transport registry
+//	GET  /api/v1/healthz             liveness
+//
+// The events stream is newline-delimited JSON (application/x-ndjson):
+// one {"type":"run",...} object per completed run — carrying the cell's
+// canonical key, its hash, the seed and the run's goodput — terminated
+// by a single {"type":"done"} or {"type":"error"} object. Connecting
+// after completion replays the full event log and terminates, so late
+// consumers see identical streams.
+//
+// A Server is an http.Handler; serve it with http.Server or mount it
+// under a mux. The manetsim CLI wires it up as "manetsim serve".
+type Server struct {
+	campaign *Campaign
+	mux      *http.ServeMux
+
+	mu   sync.Mutex
+	jobs map[string]*sweepJob
+	seq  int
+}
+
+// NewServer returns a service over the given campaign. The campaign's
+// scale supplies the default measurement budget of submitted sweeps, its
+// workers bound their parallelism, and its store (if any) makes their
+// results durable.
+func NewServer(c *Campaign) *Server {
+	s := &Server{campaign: c, jobs: make(map[string]*sweepJob)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /api/v1/transports", s.handleTransports)
+	mux.HandleFunc("POST /api/v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/events", s.handleEvents)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Job states.
+const (
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// serverEvent is one NDJSON line of a job's progress stream.
+type serverEvent struct {
+	Type       string  `json:"type"` // "run", "done" or "error"
+	Key        CellKey `json:"key,omitempty"`
+	KeyHash    string  `json:"keyHash,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	Done       int     `json:"done"`
+	Total      int     `json:"total"`
+	GoodputBps float64 `json:"goodputBps,omitempty"`
+	Cells      int     `json:"cells,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// sweepJob tracks one submitted sweep: its event log (replayed to every
+// stream consumer), live subscribers, and the terminal outcome.
+type sweepJob struct {
+	id    string
+	total int
+
+	mu     sync.Mutex
+	state  string
+	done   int
+	events []serverEvent
+	subs   map[chan serverEvent]struct{}
+	cells  []Cell
+	err    error
+}
+
+// append records an event and fans it out to live subscribers. Channel
+// buffers are sized for the whole event log (total runs + 1 terminal
+// event), so the non-blocking send only ever drops on a subscriber that
+// broke its own contract.
+func (j *sweepJob) append(ev serverEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe returns a snapshot of the event log so far and a live
+// channel for what follows; unsubscribe with the returned func.
+func (j *sweepJob) subscribe() ([]serverEvent, chan serverEvent, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay := append([]serverEvent(nil), j.events...)
+	ch := make(chan serverEvent, j.total+2)
+	j.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// run executes the sweep on the shared campaign, recording progress and
+// the terminal outcome. It runs on its own goroutine with no request
+// context: a submitted sweep outlives its submitting connection.
+func (s *Server) run(j *sweepJob, sw Sweep) {
+	cells, err := s.campaign.SweepProgress(context.Background(), sw, func(ev SweepEvent) {
+		j.mu.Lock()
+		j.done = ev.Done
+		j.mu.Unlock()
+		out := serverEvent{
+			Type:    "run",
+			Key:     ev.Key,
+			KeyHash: ev.Key.Hash(),
+			Seed:    ev.Seed,
+			Done:    ev.Done,
+			Total:   ev.Total,
+		}
+		if ev.Result != nil {
+			out.GoodputBps = ev.Result.AggGoodput.Mean
+		}
+		j.append(out)
+	})
+	j.mu.Lock()
+	if err != nil {
+		j.state = jobFailed
+		j.err = err
+	} else {
+		j.state = jobDone
+		j.cells = cells
+	}
+	done, total := j.done, j.total
+	j.mu.Unlock()
+	if err != nil {
+		j.append(serverEvent{Type: "error", Done: done, Total: total, Error: err.Error()})
+	} else {
+		j.append(serverEvent{Type: "done", Done: done, Total: total, Cells: len(cells)})
+	}
+}
+
+// jobStatus is the JSON shape of a job's status (and the interim results
+// response while a sweep is still running).
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+}
+
+func (j *sweepJob) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{ID: j.id, State: j.state, Done: j.done, Total: j.total}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleTransports(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Transports())
+}
+
+// maxSweepBody bounds submitted sweep documents; even a 10k-node
+// scenario with thousands of explicit flows fits comfortably.
+const maxSweepBody = 16 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sw Sweep
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sw); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding sweep: %w", err))
+		return
+	}
+	if err := validateSweep(sw); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	j := &sweepJob{
+		id:    fmt.Sprintf("sweep-%d", s.seq),
+		total: sw.GridSize(s.campaign.Scale),
+		state: jobRunning,
+		subs:  make(map[chan serverEvent]struct{}),
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	go s.run(j, sw)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// validateSweep rejects structurally broken submissions synchronously
+// (HTTP 400); run-level misconfigurations surface as a failed job.
+func validateSweep(sw Sweep) error {
+	if len(sw.Scenarios) == 0 {
+		return errors.New("sweep needs at least one scenario")
+	}
+	for i, scn := range sw.Scenarios {
+		if scn == nil {
+			return fmt.Errorf("scenario %d is null", i)
+		}
+		if err := scn.Validate(); err != nil {
+			return fmt.Errorf("scenario %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]jobStatus, 0, len(s.jobs))
+	for i := 1; i <= s.seq; i++ {
+		if j, ok := s.jobs[fmt.Sprintf("sweep-%d", i)]; ok {
+			statuses = append(statuses, j.status())
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*sweepJob, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	state, cells, jerr := j.state, j.cells, j.err
+	j.mu.Unlock()
+	switch state {
+	case jobRunning:
+		writeJSON(w, http.StatusAccepted, j.status())
+	case jobFailed:
+		httpError(w, http.StatusInternalServerError, jerr)
+	default:
+		writeJSON(w, http.StatusOK, struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+			Cells []Cell `json:"cells"`
+		}{j.id, state, cells})
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	replay, ch, unsubscribe := j.subscribe()
+	defer unsubscribe()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev serverEvent) (terminal bool) {
+		if err := enc.Encode(ev); err != nil {
+			return true // client gone
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return ev.Type != "run"
+	}
+	for _, ev := range replay {
+		if emit(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if emit(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
