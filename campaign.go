@@ -413,13 +413,18 @@ func (c *Campaign) RunAll(ctx context.Context, cfgs []Config) ([]*Result, error)
 }
 
 // Sweep is a declarative parameter grid: the cartesian product of
-// scenarios, transports and rates, each replicated over Seeds. Empty axes
+// scenarios, transports, rates and link models, each replicated over
+// Seeds. Empty axes
 // collapse to the Base config's value (and Seeds to the campaign scale's
 // seed), so a Sweep can vary exactly the dimensions under study.
 type Sweep struct {
 	Scenarios  []*Scenario
 	Transports []TransportSpec
 	Rates      []Rate
+	// LinkModels sweeps link-impairment specs (e.g. a loss-rate ramp built
+	// from UniformLossModel). Empty collapses to Base.LinkModel — the
+	// perfect channel unless Base sets one.
+	LinkModels []LinkModelSpec
 	// Seeds replicates every cell; replicate statistics aggregate across
 	// them with 95% confidence intervals.
 	Seeds []int64
@@ -442,13 +447,14 @@ type CellKey string
 // NewCellKey derives the canonical key of a cell. Two independently
 // built but equal scenario values produce the same key (the encoding
 // follows the pointer into nodes and flows).
-func NewCellKey(scn *Scenario, t TransportSpec, r Rate, seeds []int64) CellKey {
+func NewCellKey(scn *Scenario, t TransportSpec, r Rate, lm LinkModelSpec, seeds []int64) CellKey {
 	b, err := json.Marshal(struct {
 		Scenario  *Scenario
 		Transport TransportSpec
 		Rate      Rate
+		LinkModel LinkModelSpec
 		Seeds     []int64
-	}{scn, t, r, seeds})
+	}{scn, t, r, lm, seeds})
 	if err != nil {
 		// All four components are plain data; encoding cannot fail.
 		panic(fmt.Sprintf("manetsim: encoding cell key: %v", err))
@@ -488,6 +494,7 @@ type Cell struct {
 	Scenario  *Scenario
 	Transport TransportSpec
 	Rate      Rate
+	LinkModel LinkModelSpec
 	Seeds     []int64
 
 	// Runs holds one result per seed, in Seeds order.
@@ -499,10 +506,11 @@ type Cell struct {
 	Jain    Estimate // Jain's fairness index
 }
 
-// axes returns the sweep's effective transport, rate and seed axes after
-// empty-axis collapse: empty Transports/Rates fall back to the Base
-// config's value, empty Seeds to the campaign scale's seed.
-func (sw Sweep) axes(scaleSeed int64) (transports []TransportSpec, rates []Rate, seeds []int64) {
+// axes returns the sweep's effective transport, rate, link-model and seed
+// axes after empty-axis collapse: empty Transports/Rates/LinkModels fall
+// back to the Base config's value, empty Seeds to the campaign scale's
+// seed.
+func (sw Sweep) axes(scaleSeed int64) (transports []TransportSpec, rates []Rate, linkModels []LinkModelSpec, seeds []int64) {
 	transports = sw.Transports
 	if len(transports) == 0 {
 		transports = []TransportSpec{sw.Base.Transport}
@@ -511,6 +519,10 @@ func (sw Sweep) axes(scaleSeed int64) (transports []TransportSpec, rates []Rate,
 	if len(rates) == 0 {
 		rates = []Rate{sw.Base.Bandwidth}
 	}
+	linkModels = sw.LinkModels
+	if len(linkModels) == 0 {
+		linkModels = []LinkModelSpec{sw.Base.LinkModel}
+	}
 	seeds = sw.Seeds
 	if len(seeds) == 0 {
 		if scaleSeed == 0 {
@@ -518,14 +530,14 @@ func (sw Sweep) axes(scaleSeed int64) (transports []TransportSpec, rates []Rate,
 		}
 		seeds = []int64{scaleSeed}
 	}
-	return transports, rates, seeds
+	return transports, rates, linkModels, seeds
 }
 
 // GridSize returns how many runs the sweep expands to under the given
 // campaign scale (cells x seed replicates).
 func (sw Sweep) GridSize(scale Scale) int {
-	transports, rates, seeds := sw.axes(scale.Seed)
-	return len(sw.Scenarios) * len(transports) * len(rates) * len(seeds)
+	transports, rates, linkModels, seeds := sw.axes(scale.Seed)
+	return len(sw.Scenarios) * len(transports) * len(rates) * len(linkModels) * len(seeds)
 }
 
 // SweepEvent reports one completed run of a sweep grid to a progress
@@ -563,23 +575,26 @@ func (c *Campaign) SweepProgress(ctx context.Context, sw Sweep, onRun func(Sweep
 	if len(sw.Scenarios) == 0 {
 		return nil, errors.New("manetsim: Sweep needs at least one Scenario")
 	}
-	transports, rates, seeds := sw.axes(c.Scale.Seed)
+	transports, rates, linkModels, seeds := sw.axes(c.Scale.Seed)
 	var cells []Cell
 	var cfgs []Config
 	for _, scn := range sw.Scenarios {
 		for _, t := range transports {
 			for _, r := range rates {
-				cells = append(cells, Cell{
-					Key:      NewCellKey(scn, t, r, seeds),
-					Scenario: scn, Transport: t, Rate: r, Seeds: seeds,
-				})
-				for _, seed := range seeds {
-					cfg := sw.Base
-					cfg.Scenario = scn
-					cfg.Transport = t
-					cfg.Bandwidth = r
-					cfg.Seed = seed
-					cfgs = append(cfgs, cfg)
+				for _, lm := range linkModels {
+					cells = append(cells, Cell{
+						Key:      NewCellKey(scn, t, r, lm, seeds),
+						Scenario: scn, Transport: t, Rate: r, LinkModel: lm, Seeds: seeds,
+					})
+					for _, seed := range seeds {
+						cfg := sw.Base
+						cfg.Scenario = scn
+						cfg.Transport = t
+						cfg.Bandwidth = r
+						cfg.LinkModel = lm
+						cfg.Seed = seed
+						cfgs = append(cfgs, cfg)
+					}
 				}
 			}
 		}

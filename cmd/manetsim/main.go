@@ -11,7 +11,11 @@
 //	manetsim -topology chain -hops 7 -protocol westwood
 //	manetsim -topology chain -hops 7 -protocol pacing -cov-weight 3
 //	manetsim -topology random -protocol vegas -packets 110000 -batch 10000
+//	manetsim -topology chain -hops 7 -protocol westwood -link-model uniform -loss 0.02
+//	manetsim -topology chain -hops 3 -link-model ber -ber 1e-5 -frame-bits 12224
+//	manetsim -topology hidden -protocol newreno -rts-threshold 4096
 //	manetsim -list-transports
+//	manetsim -list-link-models
 //
 //	manetsim bench -json                      # run suite, write BENCH_<date>.json
 //	go test -bench=. ./internal/perf | manetsim bench -parse -out ci.json
@@ -44,7 +48,7 @@ func main() {
 		return
 	}
 	var (
-		topology  = flag.String("topology", "chain", "topology: chain, grid, random")
+		topology  = flag.String("topology", "chain", "topology: chain, grid, random, hidden")
 		hops      = flag.Int("hops", 7, "chain length in hops")
 		protocol  = flag.String("protocol", "vegas", "transport by registry name (see -list-transports)")
 		listTr    = flag.Bool("list-transports", false, "print the transport registry and exit")
@@ -66,6 +70,18 @@ func main() {
 		nocapture = flag.Bool("no-capture", false, "disable the PHY 10 dB capture rule (ablation)")
 		quiet     = flag.Bool("q", false, "print only the summary line")
 
+		linkModel = flag.String("link-model", "", "link-impairment model by registry name (see -list-link-models); empty = perfect channel")
+		listLM    = flag.Bool("list-link-models", false, "print the link-model registry and exit")
+		lossRate  = flag.Float64("loss", 0, "uniform/distance per-frame loss probability in [0,1]")
+		ber       = flag.Float64("ber", 0, "bit error rate for -link-model ber")
+		frameBits = flag.Int("frame-bits", 0, "frame length in bits for -link-model ber")
+		gePGB     = flag.Float64("ge-good-bad", 0, "Gilbert-Elliott per-frame good->bad transition probability")
+		gePBG     = flag.Float64("ge-bad-good", 0, "Gilbert-Elliott per-frame bad->good transition probability")
+		geLossBad = flag.Float64("ge-loss-bad", 0, "Gilbert-Elliott loss probability while in the bad state")
+		jitter    = flag.Duration("jitter", 0, "maximum per-link extra propagation delay (uniform in [0,jitter))")
+		capRatio  = flag.Float64("capture-ratio", 0, "receiver capture power ratio; 0 = default 10 dB rule")
+		rtsThresh = flag.Int("rts-threshold", 0, "skip RTS/CTS for unicast frames <= bytes (0 = handshake on every frame)")
+
 		mobilityKind = flag.String("mobility", "none", "mobility model: none, waypoint")
 		vmax         = flag.Float64("vmax", 10, "random waypoint maximum speed [m/s]")
 		vmin         = flag.Float64("vmin", 1, "random waypoint minimum speed [m/s]")
@@ -82,6 +98,10 @@ func main() {
 		listTransports()
 		return
 	}
+	if *listLM {
+		listLinkModels()
+		return
+	}
 
 	var scn *manetsim.Scenario
 	switch strings.ToLower(*topology) {
@@ -91,6 +111,8 @@ func main() {
 		scn = manetsim.Grid()
 	case "random":
 		scn = manetsim.Random()
+	case "hidden":
+		scn = manetsim.HiddenTerminal()
 	default:
 		fatalf("unknown topology %q", *topology)
 	}
@@ -157,6 +179,20 @@ func main() {
 	if *nocapture {
 		opts = append(opts, manetsim.WithoutCapture())
 	}
+	lspec := manetsim.LinkModelSpec{
+		Name:     strings.ToLower(*linkModel),
+		LossRate: *lossRate,
+		BER:      *ber, FrameBits: *frameBits,
+		PGoodBad: *gePGB, PBadGood: *gePBG, LossBad: *geLossBad,
+		Jitter:       *jitter,
+		CaptureRatio: *capRatio,
+	}
+	if !lspec.IsZero() {
+		opts = append(opts, manetsim.WithLinkModel(lspec))
+	}
+	if *rtsThresh != 0 {
+		opts = append(opts, manetsim.WithRTSThreshold(*rtsThresh))
+	}
 	if *progress {
 		opts = append(opts, manetsim.WithObserver(manetsim.ObserverFuncs{
 			Progress: func(delivered, total int64, simTime time.Duration) {
@@ -183,6 +219,9 @@ func main() {
 	fmt.Printf("  retransmissions    %.4f per delivered packet (±%.4f)\n", res.Rtx.Mean, res.Rtx.HalfCI)
 	fmt.Printf("  link-layer failures %.4f per attempt (±%.4f)\n", res.DropProb.Mean, res.DropProb.HalfCI)
 	fmt.Printf("  route failures     %d false, %d true\n", res.FalseRouteFailures, res.TrueRouteFailures)
+	if res.ImpairedFrames > 0 {
+		fmt.Printf("  impaired frames    %d (%s)\n", res.ImpairedFrames, lspec.Label())
+	}
 	fmt.Printf("  energy             %.1f J total, %.2f J/MB\n", res.Energy.TotalJoules, res.Energy.JoulesPerMB)
 	if res.Delay.N > 0 {
 		fmt.Printf("  e2e delay          mean %v, p95 %v\n",
@@ -203,6 +242,18 @@ func main() {
 func listTransports() {
 	fmt.Println("registered transports (select with -protocol <name>):")
 	for _, info := range manetsim.Transports() {
+		name := info.Name
+		if len(info.Aliases) > 0 {
+			name += " (" + strings.Join(info.Aliases, ", ") + ")"
+		}
+		fmt.Printf("  %-26s %s\n", name, info.Description)
+	}
+}
+
+// listLinkModels prints the link-model registry, one model per line.
+func listLinkModels() {
+	fmt.Println("registered link models (select with -link-model <name>):")
+	for _, info := range manetsim.LinkModels() {
 		name := info.Name
 		if len(info.Aliases) > 0 {
 			name += " (" + strings.Join(info.Aliases, ", ") + ")"

@@ -1,0 +1,80 @@
+// Lossy sweeps the non-congestion-loss regime the link-impairment
+// subsystem unlocks: Reno, Westwood+ and the adaptive-pacing sender on
+// the paper's 7-hop chain, under uniform per-frame loss ramped from 0%
+// to 5%. Classic loss-based TCP misreads every random loss as
+// congestion and halves its window; Westwood+'s bandwidth-estimate
+// backoff and rate pacing shed far less, so the gap widens with the
+// loss rate.
+//
+//	go run ./examples/lossy
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"manetsim"
+)
+
+// demoPackets returns the demo's packet budget, overridable through
+// MANETSIM_EXAMPLE_PACKETS (CI runs every example at reduced scale).
+func demoPackets(def int64) int64 {
+	if s := os.Getenv("MANETSIM_EXAMPLE_PACKETS"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func main() {
+	transports := []manetsim.TransportSpec{
+		{Name: "reno"},
+		{Name: "westwood"},
+		{Name: "pacing"},
+	}
+	lossRamp := []manetsim.LinkModelSpec{
+		{}, // perfect channel baseline
+		manetsim.UniformLossModel(0.01),
+		manetsim.UniformLossModel(0.02),
+		manetsim.UniformLossModel(0.05),
+	}
+
+	total := demoPackets(11000)
+	c := manetsim.NewCampaign(manetsim.Scale{TotalPackets: total, BatchPackets: total / 11, Seed: 1})
+	cells, err := c.Sweep(context.Background(), manetsim.Sweep{
+		Scenarios:  []*manetsim.Scenario{manetsim.Chain(7)},
+		Transports: transports,
+		LinkModels: lossRamp,
+		Seeds:      []int64{1, 2, 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("7-hop chain, 2 Mbit/s — goodput (kbit/s ±95% CI) vs uniform frame loss:")
+	fmt.Printf("%-12s", "loss")
+	for _, t := range transports {
+		fmt.Printf(" %18s", t.Label())
+	}
+	fmt.Println()
+	// Grid order is transports outermost within the scenario, loss ramp
+	// innermost — walk it transposed so each row is one loss rate.
+	for li, lm := range lossRamp {
+		label := lm.Label()
+		if lm.IsZero() {
+			label = "perfect"
+		}
+		fmt.Printf("%-12s", label)
+		for ti := range transports {
+			cell := cells[ti*len(lossRamp)+li]
+			fmt.Printf("    %7.1f ±%5.1f", cell.Goodput.Mean/1e3, cell.Goodput.HalfCI/1e3)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(random loss is not congestion: Westwood+'s bandwidth-estimate")
+	fmt.Println(" backoff keeps the pipe full where Reno's blind halving cannot)")
+}

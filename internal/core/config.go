@@ -306,6 +306,18 @@ type Config struct {
 	// overlapping signal within interference range corrupts receptions).
 	NoCapture bool
 
+	// LinkModel selects the link-impairment model (per-frame corruption,
+	// delay jitter, capture ratio) the PHY consults on every frame
+	// delivery. The zero value is the perfect channel — byte-identical
+	// to runs predating the subsystem.
+	LinkModel LinkModelSpec
+
+	// RTSThreshold enables 802.11 basic access for short frames: unicast
+	// packets of at most this many bytes skip the RTS/CTS handshake.
+	// 0 keeps RTS/CTS on every unicast frame (the paper's setting); a
+	// value above the largest packet size disables RTS/CTS entirely.
+	RTSThreshold int `json:",omitempty"`
+
 	// MaxSimTime bounds runs that cannot reach TotalPackets (e.g. a
 	// starved flow); the result is marked Truncated. Default 24h.
 	MaxSimTime time.Duration
@@ -363,6 +375,16 @@ func (c Config) validate() error {
 	}
 	if err := c.Transport.validate("Config.Transport", true); err != nil {
 		return err
+	}
+	epoch := c.Scenario.Mobility.UpdateInterval
+	if epoch <= 0 {
+		epoch = phy.DefaultUpdateInterval
+	}
+	if err := c.LinkModel.validate("Config.LinkModel", epoch); err != nil {
+		return err
+	}
+	if c.RTSThreshold < 0 {
+		return fmt.Errorf("core: negative RTSThreshold %d (bytes; 0 keeps RTS/CTS on every unicast frame)", c.RTSThreshold)
 	}
 	if c.TotalPackets < 0 || c.BatchPackets < 0 {
 		return fmt.Errorf("core: negative measurement budget (TotalPackets=%d, BatchPackets=%d)", c.TotalPackets, c.BatchPackets)

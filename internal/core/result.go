@@ -138,6 +138,10 @@ type Result struct {
 	Energy             EnergyReport
 	Delay              DelaySummary
 
+	// ImpairedFrames counts frame copies killed by the link-impairment
+	// model over the whole run (0 under the perfect channel).
+	ImpairedFrames uint64 `json:",omitempty"`
+
 	Delivered int64         // total packets delivered (incl. warm-up)
 	SimTime   time.Duration // simulated duration
 	Truncated bool          // MaxSimTime hit before TotalPackets

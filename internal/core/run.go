@@ -7,6 +7,7 @@ import (
 
 	"manetsim/internal/aodv"
 	"manetsim/internal/geo"
+	"manetsim/internal/mac"
 	"manetsim/internal/node"
 	"manetsim/internal/phy"
 	"manetsim/internal/pkt"
@@ -172,6 +173,9 @@ func (s *scenarioState) finishRun(ctx context.Context) (*Result, error) {
 	res.Batches = s.batches[warm:]
 	res.aggregate()
 	s.fillEnergy(res)
+	for _, n := range s.nodes {
+		res.ImpairedFrames += n.Radio.FramesImpaired
+	}
 	if s.delay.N() > 0 {
 		res.Delay = DelaySummary{
 			Mean: s.delay.Mean(),
@@ -212,17 +216,18 @@ func (s *scenarioState) build(reuse bool) error {
 	if scn.Routing == RoutingStatic && !model.Static() {
 		return errStaticMobility
 	}
+	macCfg := mac.Config{DataRate: s.cfg.Bandwidth, RTSThreshold: s.cfg.RTSThreshold}
 	reuse = reuse && s.channel != nil && s.channel.NumRadios() == len(pts) && len(s.nodes) == len(pts)
 	if reuse {
 		s.channel.Reset(model, scn.Mobility.UpdateInterval)
 		for _, n := range s.nodes {
-			n.Reset(s.cfg.Bandwidth)
+			n.Reset(macCfg)
 		}
 	} else {
 		s.channel = phy.NewMobileChannel(s.sched, model, scn.Mobility.UpdateInterval)
 		s.nodes = make([]*node.Node, len(pts))
 		for i := range pts {
-			s.nodes[i] = node.New(s.sched, s.channel.Radio(pkt.NodeID(i)), s.cfg.Bandwidth)
+			s.nodes[i] = node.New(s.sched, s.channel.Radio(pkt.NodeID(i)), macCfg)
 		}
 		// Routing entities hold MAC bindings from the torn-down stacks.
 		s.arenaRouters = nil
@@ -230,6 +235,13 @@ func (s *scenarioState) build(reuse bool) error {
 	}
 	ch := s.channel
 	ch.NoCapture = s.cfg.NoCapture
+	// The impairment model rides on the channel: per-link streams derive
+	// from the run seed, so fresh and arena runs draw identically.
+	impair, err := buildLinkModel(s.cfg.LinkModel)
+	if err != nil {
+		return err
+	}
+	ch.SetLinkModel(impair, s.cfg.LinkModel.Jitter, s.cfg.LinkModel.CaptureRatio, uint64(s.cfg.Seed))
 	for _, n := range s.nodes {
 		n.OnFlowDelivery = s.onDelivery
 	}

@@ -168,6 +168,28 @@ func Grid() *Scenario {
 	return s
 }
 
+// HiddenTerminal returns the interference-limited hidden-terminal
+// topology: two parallel one-hop flows A->R1 and B->R2 on a line, spaced
+// so the senders cannot carrier-sense each other (700 m apart, beyond
+// CSRange = 550 m) while B's transmissions still reach R1 as
+// interference (500 m, inside CSRange). B cannot decode R1's CTS or ACK
+// frames (500 m > TxRange = 250 m), so collisions at R1 are unavoidable
+// — but with RTS/CTS a collision costs a 20-byte RTS instead of a
+// full data frame, and EIFS after each corrupted reception keeps B out
+// of the exchange's SIFS gaps. Compare runs with Config.RTSThreshold 0
+// (handshake on) and above the packet size (basic access) to measure
+// the classic hidden-terminal trade-off.
+func HiddenTerminal() *Scenario {
+	s := NewScenario("hidden-terminal")
+	a := s.AddNode(0, 0)
+	r1 := s.AddNode(200, 0)
+	b := s.AddNode(700, 0)
+	r2 := s.AddNode(900, 0)
+	s.AddFlow(a, r1)
+	s.AddFlow(b, r2)
+	return s
+}
+
 // Random returns the paper's 120-node random topology (2500x1000 m²) with
 // ten random flows. Placement and flows are drawn from the run's seed.
 func Random() *Scenario { return RandomField(120, 2500, 1000, 10) }

@@ -29,6 +29,10 @@ var goldenFigureHashes = map[string]string{
 	// ccextensions pins the Westwood+ and adaptive-pacing variants (and
 	// name-based registry resolution) from the moment they shipped.
 	"ccextensions": "4909cbde9d1a9dbdad42436825b237de9b799a2d7eab2bdf9f006dd9383dd540",
+	// lossy pins the link-impairment subsystem: the seeded per-link RNG
+	// streams, the uniform loss model and the Reno/Westwood+ separation
+	// under random loss, from the moment they shipped.
+	"lossy": "865f415ac177f76413017ba9d049ca31b677afd73d2d537f4b93bd68415d98ec",
 }
 
 // figureDigest canonicalizes a figure through JSON (struct-ordered, no

@@ -114,6 +114,7 @@ var registry = map[string]func(h *Harness) (*Figure, error){
 	"transports":   Transports,
 	"ccextensions": CCExtensions,
 	"coexist":      Coexist,
+	"lossy":        Lossy,
 	"latency":      Latency,
 	"optwindow":    OptWindow,
 	"mobility":     Mobility,

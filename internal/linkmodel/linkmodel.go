@@ -1,0 +1,229 @@
+// Package linkmodel provides pluggable link-impairment models for the
+// wireless channel: per-frame corruption draws (uniform loss, bit-error
+// rate, bursty Gilbert-Elliott, distance-dependent loss) consumed by the
+// PHY on every frame delivery.
+//
+// Determinism is the design center. Every directed link owns an
+// independent splitmix64 stream (State) seeded from the run seed and the
+// (from, to) node pair, so results are byte-identical per seed regardless
+// of which other links carry traffic, and stable across World arena reuse
+// — a reset link re-seeds to exactly the same stream. Models are
+// stateless values; all mutable per-link state lives in State, which the
+// PHY stores per (sender, receiver) pair. The draw path allocates
+// nothing.
+package linkmodel
+
+import "math"
+
+// Model decides, per transmitted frame and per receiving link, whether
+// the frame is corrupted in flight. Implementations must be stateless
+// (safe to share across links and goroutines); all per-link mutable state
+// lives in the *State passed to Corrupt.
+type Model interface {
+	// Name returns the model's registry name.
+	Name() string
+
+	// DecodeRange returns the maximum sender-receiver distance at which
+	// frames can be decoded at all, given the channel's nominal decode
+	// range (txRange) and carrier-sense range (csRange). Most models keep
+	// txRange; DistanceLoss extends decoding into the gray zone. The
+	// channel calls this exactly once when the model is installed, so
+	// models may capture the ranges here.
+	DecodeRange(txRange, csRange float64) float64
+
+	// Corrupt draws whether a frame on a link of the given length (in
+	// meters) is corrupted. The draw must consume a fixed number of
+	// variates from st per call — independent of the outcome and of dist
+	// — so per-link streams stay aligned and runs stay reproducible.
+	Corrupt(st *State, dist float64) bool
+}
+
+// State is the per-directed-link impairment state: a splitmix64 stream
+// plus the Gilbert-Elliott channel state. The zero value is unseeded;
+// the PHY seeds it lazily on first use via Seed(LinkSeed(...)).
+type State struct {
+	x      uint64
+	bad    bool // Gilbert-Elliott: currently in the bad state
+	seeded bool
+}
+
+// Seed initializes the stream and returns the state to the good channel
+// state. Seeding with the same value reproduces the same draw sequence.
+func (st *State) Seed(s uint64) {
+	st.x = s
+	st.bad = false
+	st.seeded = true
+}
+
+// Seeded reports whether the state has been seeded since its last reset.
+func (st *State) Seeded() bool { return st.seeded }
+
+// Invalidate marks the state unseeded so the next use re-seeds it. The
+// PHY calls this on every link when a run arena resets, which is what
+// keeps reused Worlds byte-identical to fresh runs.
+func (st *State) Invalidate() { st.seeded = false }
+
+// Uint64 returns the next variate of the link's splitmix64 stream.
+func (st *State) Uint64() uint64 {
+	st.x += 0x9e3779b97f4a7c15
+	z := st.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns the next variate uniformly in [0,1).
+func (st *State) Float64() float64 {
+	return float64(st.Uint64()>>11) / (1 << 53)
+}
+
+// fmix is the splitmix64 finalizer (full-avalanche bit mixing).
+func fmix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// LinkSeed derives the stream seed of the directed link from->to under
+// the given run seed. The run seed is finalized before the link id folds
+// in, so (seed, from, to) triples that XOR to the same value still get
+// distinct streams; a second finalization decorrelates the result from
+// the scheduler's own source.
+func LinkSeed(runSeed uint64, from, to uint32) uint64 {
+	z := fmix(runSeed + 0x9e3779b97f4a7c15)
+	z += uint64(from)<<32 | uint64(to)
+	return fmix(z)
+}
+
+// Perfect is the identity model: no frame is ever corrupted. It is the
+// channel default (the channel special-cases it to skip per-link state
+// entirely, keeping impairment-free runs byte-identical to builds that
+// predate this package).
+type Perfect struct{}
+
+// Name implements Model.
+func (Perfect) Name() string { return "perfect" }
+
+// DecodeRange implements Model.
+func (Perfect) DecodeRange(txRange, _ float64) float64 { return txRange }
+
+// Corrupt implements Model.
+func (Perfect) Corrupt(*State, float64) bool { return false }
+
+// UniformLoss corrupts each frame independently with probability P,
+// regardless of link length. This is the classic i.i.d. random-loss
+// regime the DSN'05 follow-up literature evaluates Westwood+ against.
+type UniformLoss struct {
+	P float64 // frame loss probability in [0,1]
+}
+
+// Name implements Model.
+func (UniformLoss) Name() string { return "uniform" }
+
+// DecodeRange implements Model.
+func (UniformLoss) DecodeRange(txRange, _ float64) float64 { return txRange }
+
+// Corrupt implements Model.
+func (m UniformLoss) Corrupt(st *State, _ float64) bool {
+	return st.Float64() < m.P
+}
+
+// BERLoss corrupts frames according to an independent per-bit error
+// rate: a frame of FrameBits bits survives with (1-BER)^FrameBits. The
+// per-frame probability is precomputed at construction, so the draw path
+// is one compare.
+type BERLoss struct {
+	BER       float64 // per-bit error probability
+	FrameBits int     // frame length the BER applies over
+	p         float64 // derived per-frame corruption probability
+}
+
+// NewBERLoss returns a BER model for frames of frameBits bits.
+func NewBERLoss(ber float64, frameBits int) BERLoss {
+	return BERLoss{BER: ber, FrameBits: frameBits, p: FrameLossFromBER(ber, frameBits)}
+}
+
+// FrameLossFromBER converts a per-bit error rate into the per-frame
+// corruption probability of a frameBits-bit frame: 1-(1-ber)^frameBits.
+func FrameLossFromBER(ber float64, frameBits int) float64 {
+	if ber <= 0 || frameBits <= 0 {
+		return 0
+	}
+	if ber >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-ber, float64(frameBits))
+}
+
+// Name implements Model.
+func (BERLoss) Name() string { return "ber" }
+
+// DecodeRange implements Model.
+func (BERLoss) DecodeRange(txRange, _ float64) float64 { return txRange }
+
+// Corrupt implements Model.
+func (m BERLoss) Corrupt(st *State, _ float64) bool {
+	return st.Float64() < m.p
+}
+
+// GilbertElliott is the classic two-state bursty loss channel: each link
+// alternates between a good and a bad state with geometric sojourn
+// times, and frames are lost with a state-dependent probability. Per
+// frame the model draws the loss outcome from the current state, then
+// draws the state transition — always two variates, so streams stay
+// aligned whatever the outcomes.
+type GilbertElliott struct {
+	PGoodBad float64 // per-frame transition probability good -> bad
+	PBadGood float64 // per-frame transition probability bad -> good
+	LossGood float64 // frame loss probability in the good state
+	LossBad  float64 // frame loss probability in the bad state
+}
+
+// Name implements Model.
+func (GilbertElliott) Name() string { return "gilbert-elliott" }
+
+// DecodeRange implements Model.
+func (GilbertElliott) DecodeRange(txRange, _ float64) float64 { return txRange }
+
+// Corrupt implements Model.
+func (m GilbertElliott) Corrupt(st *State, _ float64) bool {
+	loss := m.LossGood
+	flip := m.PGoodBad
+	if st.bad {
+		loss = m.LossBad
+		flip = m.PBadGood
+	}
+	corrupted := st.Float64() < loss
+	if st.Float64() < flip {
+		st.bad = !st.bad
+	}
+	return corrupted
+}
+
+// DistanceLoss ramps the frame loss probability linearly with link
+// length: lossless up to the nominal decode range, then rising to
+// certain loss at the carrier-sense range. It also extends the decode
+// range to the carrier-sense range, creating the gray zone of real
+// radios — marginal links that routing may pick up but that drop most
+// frames.
+type DistanceLoss struct {
+	inner, outer float64
+}
+
+// Name implements Model.
+func (*DistanceLoss) Name() string { return "distance" }
+
+// DecodeRange implements Model. It captures the ramp endpoints.
+func (m *DistanceLoss) DecodeRange(txRange, csRange float64) float64 {
+	m.inner, m.outer = txRange, csRange
+	return csRange
+}
+
+// Corrupt implements Model.
+func (m *DistanceLoss) Corrupt(st *State, dist float64) bool {
+	p := 0.0
+	if dist > m.inner && m.outer > m.inner {
+		p = (dist - m.inner) / (m.outer - m.inner)
+	}
+	return st.Float64() < p
+}

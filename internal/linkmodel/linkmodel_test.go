@@ -1,0 +1,212 @@
+package linkmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// drawLosses runs n Corrupt draws on a fresh stream and returns the loss
+// count.
+func drawLosses(t *testing.T, m Model, seed uint64, dist float64, n int) int {
+	t.Helper()
+	var st State
+	st.Seed(seed)
+	lost := 0
+	for i := 0; i < n; i++ {
+		if m.Corrupt(&st, dist) {
+			lost++
+		}
+	}
+	return lost
+}
+
+func TestStateDeterminism(t *testing.T) {
+	var a, b State
+	a.Seed(LinkSeed(42, 3, 7))
+	b.Seed(LinkSeed(42, 3, 7))
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at draw %d", i)
+		}
+	}
+}
+
+func TestLinkSeedDistinguishesLinks(t *testing.T) {
+	seen := map[uint64]string{}
+	type link struct {
+		seed     uint64
+		from, to uint32
+	}
+	for _, l := range []link{{1, 0, 1}, {1, 1, 0}, {1, 0, 2}, {2, 0, 1}, {1, 2, 0}} {
+		s := LinkSeed(l.seed, l.from, l.to)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: (%d,%d,%d) and %s both map to %#x", l.seed, l.from, l.to, prev, s)
+		}
+		seen[s] = "earlier link"
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	var st State
+	st.Seed(1)
+	for i := 0; i < 10000; i++ {
+		f := st.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestPerfectNeverCorrupts(t *testing.T) {
+	if got := drawLosses(t, Perfect{}, 1, 100, 10000); got != 0 {
+		t.Fatalf("Perfect corrupted %d frames", got)
+	}
+}
+
+func TestUniformLossRate(t *testing.T) {
+	const n = 100000
+	for _, p := range []float64{0.01, 0.05, 0.5} {
+		lost := drawLosses(t, UniformLoss{P: p}, 7, 100, n)
+		got := float64(lost) / n
+		// 5 sigma around the binomial mean.
+		tol := 5 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(got-p) > tol {
+			t.Errorf("UniformLoss(%g): empirical rate %g outside %g±%g", p, got, p, tol)
+		}
+	}
+}
+
+func TestBERLossMatchesClosedForm(t *testing.T) {
+	const n = 100000
+	m := NewBERLoss(1e-5, 12000) // ~11.3% per-frame
+	want := FrameLossFromBER(1e-5, 12000)
+	lost := drawLosses(t, m, 9, 100, n)
+	got := float64(lost) / n
+	tol := 5 * math.Sqrt(want*(1-want)/n)
+	if math.Abs(got-want) > tol {
+		t.Errorf("BERLoss: empirical rate %g, closed form %g (tol %g)", got, want, tol)
+	}
+}
+
+func TestFrameLossFromBEREdges(t *testing.T) {
+	if p := FrameLossFromBER(0, 12000); p != 0 {
+		t.Errorf("BER 0 => %g, want 0", p)
+	}
+	if p := FrameLossFromBER(1, 12000); p != 1 {
+		t.Errorf("BER 1 => %g, want 1", p)
+	}
+	if p := FrameLossFromBER(1e-6, 0); p != 0 {
+		t.Errorf("0 bits => %g, want 0", p)
+	}
+}
+
+// TestGilbertElliottBurstiness checks both the stationary loss rate and
+// that losses clump: with a sticky bad state the conditional probability
+// of losing the frame right after a loss must be far above the marginal.
+func TestGilbertElliottBurstiness(t *testing.T) {
+	m := GilbertElliott{PGoodBad: 0.01, PBadGood: 0.1, LossGood: 0, LossBad: 0.5}
+	// Stationary P(bad) = pgb/(pgb+pbg) = 1/11; marginal loss ~ 4.5%.
+	wantMarginal := 0.01 / 0.11 * 0.5
+
+	var st State
+	st.Seed(11)
+	const n = 200000
+	losses, afterLoss, lossAfterLoss := 0, 0, 0
+	prevLost := false
+	for i := 0; i < n; i++ {
+		lost := m.Corrupt(&st, 100)
+		if lost {
+			losses++
+		}
+		if prevLost {
+			afterLoss++
+			if lost {
+				lossAfterLoss++
+			}
+		}
+		prevLost = lost
+	}
+	marginal := float64(losses) / n
+	if math.Abs(marginal-wantMarginal) > 0.01 {
+		t.Errorf("GE marginal loss %g, want ~%g", marginal, wantMarginal)
+	}
+	conditional := float64(lossAfterLoss) / float64(afterLoss)
+	if conditional < 3*marginal {
+		t.Errorf("GE not bursty: P(loss|loss)=%g vs marginal %g", conditional, marginal)
+	}
+}
+
+func TestGilbertElliottFixedDrawCount(t *testing.T) {
+	// Two identical streams through different dist arguments must stay
+	// aligned: the model may not branch its draw count on anything.
+	m := GilbertElliott{PGoodBad: 0.2, PBadGood: 0.2, LossGood: 0.1, LossBad: 0.9}
+	var a, b State
+	a.Seed(5)
+	b.Seed(5)
+	for i := 0; i < 1000; i++ {
+		ra := m.Corrupt(&a, 10)
+		rb := m.Corrupt(&b, 500)
+		if ra != rb {
+			t.Fatalf("draw %d diverged under different dist", i)
+		}
+	}
+}
+
+func TestDistanceLossRamp(t *testing.T) {
+	m := &DistanceLoss{}
+	if got := m.DecodeRange(250, 550); got != 550 {
+		t.Fatalf("DecodeRange = %g, want 550", got)
+	}
+	const n = 50000
+	cases := []struct {
+		dist float64
+		want float64
+	}{
+		{100, 0}, {250, 0}, {400, 0.5}, {550, 1},
+	}
+	for _, c := range cases {
+		lost := drawLosses(t, m, 3, c.dist, n)
+		got := float64(lost) / n
+		if math.Abs(got-c.want) > 0.02 {
+			t.Errorf("DistanceLoss at %gm: loss %g, want ~%g", c.dist, got, c.want)
+		}
+	}
+}
+
+func TestInvalidateForcesReseed(t *testing.T) {
+	var st State
+	st.Seed(1)
+	if !st.Seeded() {
+		t.Fatal("freshly seeded state not Seeded")
+	}
+	st.Uint64()
+	st.Invalidate()
+	if st.Seeded() {
+		t.Fatal("Invalidate left state Seeded")
+	}
+	st.Seed(1)
+	var ref State
+	ref.Seed(1)
+	for i := 0; i < 100; i++ {
+		if st.Uint64() != ref.Uint64() {
+			t.Fatalf("re-seeded stream diverges at %d", i)
+		}
+	}
+}
+
+func TestCorruptZeroAlloc(t *testing.T) {
+	models := []Model{
+		UniformLoss{P: 0.5},
+		NewBERLoss(1e-5, 12000),
+		GilbertElliott{PGoodBad: 0.1, PBadGood: 0.1, LossGood: 0.1, LossBad: 0.9},
+		&DistanceLoss{inner: 250, outer: 550},
+	}
+	var st State
+	st.Seed(1)
+	for _, m := range models {
+		m := m
+		if n := testing.AllocsPerRun(1000, func() { m.Corrupt(&st, 300) }); n != 0 {
+			t.Errorf("%s: Corrupt allocates %.1f/op", m.Name(), n)
+		}
+	}
+}

@@ -28,6 +28,16 @@ const (
 type Config struct {
 	DataRate phy.Rate
 	QueueCap int // 0 means DefaultQueueCap
+
+	// RTSThreshold enables 802.11 basic access for short frames: a
+	// unicast packet whose network-layer size is at most RTSThreshold
+	// bytes skips the RTS/CTS handshake and goes straight from the
+	// contention defer to DATA (still ACK-protected; failed attempts
+	// count against the long retry limit and re-contend). 0 keeps
+	// today's behavior — RTS/CTS on every unicast frame. Set it above
+	// the largest packet size to disable RTS/CTS entirely (the
+	// dot11RTSThreshold=off configuration).
+	RTSThreshold int
 }
 
 // Callbacks connect the MAC to the layer above.
@@ -47,11 +57,12 @@ type txItem struct {
 
 // DCF is the per-node 802.11 MAC entity.
 type DCF struct {
-	sched  *sim.Scheduler
-	radio  *phy.Radio
-	timing Timing
-	cb     Callbacks
-	qcap   int
+	sched        *sim.Scheduler
+	radio        *phy.Radio
+	timing       Timing
+	cb           Callbacks
+	qcap         int
+	rtsThreshold int
 
 	queue []txItem
 	// cur points at curSlot while a packet is in service (a fixed slot, so
@@ -104,14 +115,15 @@ func New(sched *sim.Scheduler, radio *phy.Radio, cfg Config, cb Callbacks) *DCF 
 		qcap = DefaultQueueCap
 	}
 	d := &DCF{
-		sched:    sched,
-		radio:    radio,
-		timing:   NewTiming(cfg.DataRate),
-		cb:       cb,
-		qcap:     qcap,
-		cw:       CWMin,
-		seen:     make(map[uint64]bool),
-		seenRing: make([]uint64, 128),
+		sched:        sched,
+		radio:        radio,
+		timing:       NewTiming(cfg.DataRate),
+		cb:           cb,
+		qcap:         qcap,
+		rtsThreshold: cfg.RTSThreshold,
+		cw:           CWMin,
+		seen:         make(map[uint64]bool),
+		seenRing:     make([]uint64, 128),
 	}
 	d.deferTimer = sim.NewTimer(sched, d.onDeferDone)
 	d.ctsTimer = sim.NewTimer(sched, d.onCTSTimeout)
@@ -136,6 +148,7 @@ func (d *DCF) Reset(cfg Config) {
 	if d.qcap == 0 {
 		d.qcap = DefaultQueueCap
 	}
+	d.rtsThreshold = cfg.RTSThreshold
 	for i := range d.queue {
 		d.queue[i] = txItem{}
 	}
@@ -346,6 +359,13 @@ func (d *DCF) onDeferDone() {
 		d.radio.Transmit(f, d.timing.DataAir(d.cur.p.Size))
 		return
 	}
+	if d.rtsThreshold > 0 && d.cur.p.Size <= d.rtsThreshold {
+		// Basic access: the frame is short enough that losing it costs
+		// less than the handshake. Straight to DATA; the ACK (and the
+		// long retry limit) still protect it.
+		d.transmitData()
+		return
+	}
 	d.ph = phaseTxRTS
 	d.Counters.RTSSent++
 	dataAir := d.timing.DataAir(d.cur.p.Size)
@@ -530,6 +550,12 @@ func (d *DCF) sendData() {
 		d.dataAttemptFailed()
 		return
 	}
+	d.transmitData()
+}
+
+// transmitData puts the DATA frame of the packet in service on the air —
+// the shared tail of the RTS/CTS exchange and the basic-access path.
+func (d *DCF) transmitData() {
 	d.ph = phaseTxData
 	d.Counters.DataSent++
 	f := d.newFrame()

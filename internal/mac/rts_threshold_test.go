@@ -1,0 +1,117 @@
+package mac
+
+import (
+	"testing"
+
+	"manetsim/internal/geo"
+	"manetsim/internal/phy"
+	"manetsim/internal/pkt"
+	"manetsim/internal/sim"
+)
+
+// newMacRigCfg is newMacRig with a full MAC config (RTS threshold tests).
+func newMacRigCfg(t *testing.T, positions []geo.Point, cfg Config, seed int64) *macRig {
+	t.Helper()
+	r := &macRig{
+		sched:    sim.NewScheduler(seed),
+		received: make([][]*pkt.Packet, len(positions)),
+		failures: make([][]*pkt.Packet, len(positions)),
+	}
+	r.ch = phy.NewChannel(r.sched, positions)
+	for i := range positions {
+		i := i
+		cb := Callbacks{
+			Deliver:     func(p *pkt.Packet, _ pkt.NodeID) { r.received[i] = append(r.received[i], p) },
+			LinkFailure: func(p *pkt.Packet, _ pkt.NodeID) { r.failures[i] = append(r.failures[i], p) },
+		}
+		r.macs = append(r.macs, New(r.sched, r.ch.Radio(pkt.NodeID(i)), cfg, cb))
+	}
+	return r
+}
+
+func TestBasicAccessSkipsRTS(t *testing.T) {
+	cfg := Config{DataRate: phy.Rate2Mbps, RTSThreshold: 2000}
+	r := newMacRigCfg(t, geo.Chain(1), cfg, 1)
+	p := r.packet(0, 1, 1500)
+	r.sched.At(0, func() { r.macs[0].Enqueue(p, 1) })
+	r.sched.Run()
+	if len(r.received[1]) != 1 {
+		t.Fatalf("node 1 received %d packets, want 1", len(r.received[1]))
+	}
+	c := r.macs[0].Counters
+	if c.RTSSent != 0 || c.DataSent != 1 {
+		t.Errorf("sender counters = %+v, want 0 RTS and 1 DATA", c)
+	}
+	rc := r.macs[1].Counters
+	if rc.CTSSent != 0 || rc.AckSent != 1 {
+		t.Errorf("receiver counters = %+v, want 0 CTS and 1 ACK", rc)
+	}
+}
+
+func TestRTSThresholdBoundary(t *testing.T) {
+	// Size <= threshold takes basic access; size > threshold keeps the
+	// RTS/CTS handshake. Both must deliver.
+	for _, tc := range []struct {
+		size    int
+		wantRTS uint64
+	}{
+		{1000, 0},
+		{1001, 1},
+	} {
+		cfg := Config{DataRate: phy.Rate2Mbps, RTSThreshold: 1000}
+		r := newMacRigCfg(t, geo.Chain(1), cfg, 1)
+		p := r.packet(0, 1, tc.size)
+		r.sched.At(0, func() { r.macs[0].Enqueue(p, 1) })
+		r.sched.Run()
+		if len(r.received[1]) != 1 {
+			t.Fatalf("size %d: node 1 received %d packets, want 1", tc.size, len(r.received[1]))
+		}
+		if got := r.macs[0].Counters.RTSSent; got != tc.wantRTS {
+			t.Errorf("size %d: RTSSent = %d, want %d", tc.size, got, tc.wantRTS)
+		}
+	}
+}
+
+func TestBasicAccessRetriesAgainstLongLimit(t *testing.T) {
+	// The receiver sits in the gray zone: it senses energy but cannot
+	// decode, so no ACK ever comes back. Basic-access attempts must burn
+	// the long retry limit and then report a link failure.
+	positions := []geo.Point{{X: 0, Y: 0}, {X: 300, Y: 0}} // > TxRange, < CSRange
+	cfg := Config{DataRate: phy.Rate2Mbps, RTSThreshold: 2000}
+	r := newMacRigCfg(t, positions, cfg, 1)
+	p := r.packet(0, 1, 1500)
+	r.sched.At(0, func() { r.macs[0].Enqueue(p, 1) })
+	r.sched.Run()
+	c := r.macs[0].Counters
+	if c.DataSent != LongRetryLimit {
+		t.Errorf("DataSent = %d, want %d attempts", c.DataSent, LongRetryLimit)
+	}
+	if c.RTSSent != 0 {
+		t.Errorf("RTSSent = %d, want 0", c.RTSSent)
+	}
+	if c.RetryDrops != 1 || len(r.failures[0]) != 1 {
+		t.Errorf("RetryDrops = %d, failures = %d, want 1 and 1", c.RetryDrops, len(r.failures[0]))
+	}
+}
+
+func TestRTSThresholdSurvivesReset(t *testing.T) {
+	cfg := Config{DataRate: phy.Rate2Mbps, RTSThreshold: 2000}
+	r := newMacRigCfg(t, geo.Chain(1), cfg, 1)
+	r.sched.Reset(2)
+	r.ch.Reset(staticModel{positions: geo.Chain(1)}, 0)
+	r.macs[0].Reset(cfg)
+	r.macs[1].Reset(Config{DataRate: phy.Rate2Mbps}) // threshold off again
+	if r.macs[0].rtsThreshold != 2000 {
+		t.Errorf("mac 0 rtsThreshold = %d after Reset, want 2000", r.macs[0].rtsThreshold)
+	}
+	if r.macs[1].rtsThreshold != 0 {
+		t.Errorf("mac 1 rtsThreshold = %d after Reset, want 0", r.macs[1].rtsThreshold)
+	}
+}
+
+// staticModel is a minimal phy.PositionModel over fixed positions.
+type staticModel struct{ positions []geo.Point }
+
+func (m staticModel) Len() int                               { return len(m.positions) }
+func (m staticModel) PositionAt(i int, _ sim.Time) geo.Point { return m.positions[i] }
+func (m staticModel) Static() bool                           { return true }

@@ -57,9 +57,9 @@ type Node struct {
 	OnFlowDelivery func(flow int, packets int64)
 }
 
-// New creates a node over the given radio and wires the MAC to the (later
-// installed) router.
-func New(sched *sim.Scheduler, radio *phy.Radio, dataRate phy.Rate) *Node {
+// New creates a node over the given radio and wires the MAC (configured
+// by macCfg) to the (later installed) router.
+func New(sched *sim.Scheduler, radio *phy.Radio, macCfg mac.Config) *Node {
 	n := &Node{
 		ID:         radio.ID(),
 		Radio:      radio,
@@ -68,7 +68,7 @@ func New(sched *sim.Scheduler, radio *phy.Radio, dataRate phy.Rate) *Node {
 		tcpSinks:   make(map[int]*tcp.Sink),
 		udpSinks:   make(map[int]*udp.Sink),
 	}
-	n.MAC = mac.New(sched, radio, mac.Config{DataRate: dataRate}, mac.Callbacks{
+	n.MAC = mac.New(sched, radio, macCfg, mac.Callbacks{
 		Deliver: func(p *pkt.Packet, from pkt.NodeID) {
 			n.mustRouter().HandlePacket(p, from)
 		},
@@ -97,13 +97,13 @@ func (n *Node) mustRouter() Router {
 // and scheduler: the router is detached, the flow endpoints unregistered
 // (so Attach* accepts the new run's flows), the delivery hook cleared, and
 // the MAC reset — which also re-installs the MAC as the radio's handler.
-func (n *Node) Reset(dataRate phy.Rate) {
+func (n *Node) Reset(macCfg mac.Config) {
 	n.router = nil
 	clear(n.tcpSenders)
 	clear(n.tcpSinks)
 	clear(n.udpSinks)
 	n.OnFlowDelivery = nil
-	n.MAC.Reset(mac.Config{DataRate: dataRate})
+	n.MAC.Reset(macCfg)
 }
 
 // Output returns the transport-layer output function: packets go to the

@@ -6,6 +6,7 @@ import (
 
 	"manetsim/internal/aodv"
 	"manetsim/internal/geo"
+	"manetsim/internal/mac"
 	"manetsim/internal/phy"
 	"manetsim/internal/pkt"
 	"manetsim/internal/sim"
@@ -22,7 +23,7 @@ func buildStack(t *testing.T, hops int) (*sim.Scheduler, []*Node, *pkt.UIDSource
 	uids := &pkt.UIDSource{}
 	nodes := make([]*Node, len(pts))
 	for i := range pts {
-		nodes[i] = New(sched, ch.Radio(pkt.NodeID(i)), phy.Rate2Mbps)
+		nodes[i] = New(sched, ch.Radio(pkt.NodeID(i)), mac.Config{DataRate: phy.Rate2Mbps})
 	}
 	for i := range pts {
 		n := nodes[i]
@@ -102,7 +103,7 @@ func TestDuplicateAttachPanics(t *testing.T) {
 func TestRouterRequired(t *testing.T) {
 	sched := sim.NewScheduler(1)
 	ch := phy.NewChannel(sched, geo.Chain(1))
-	n := New(sched, ch.Radio(0), phy.Rate2Mbps)
+	n := New(sched, ch.Radio(0), mac.Config{DataRate: phy.Rate2Mbps})
 	defer func() {
 		if recover() == nil {
 			t.Error("Output without router did not panic")
@@ -128,7 +129,7 @@ func TestEnergyAccounting(t *testing.T) {
 	// node burns exactly idle power.
 	schedQuiet := sim.NewScheduler(1)
 	chQuiet := phy.NewChannel(schedQuiet, geo.Chain(1))
-	quiet := New(schedQuiet, chQuiet.Radio(0), phy.Rate2Mbps)
+	quiet := New(schedQuiet, chQuiet.Radio(0), mac.Config{DataRate: phy.Rate2Mbps})
 	if got := quiet.EnergyJoules(DefaultPower, time.Second); got != idleOnly {
 		t.Errorf("idle node energy = %.3f J, want %.3f J", got, idleOnly)
 	}

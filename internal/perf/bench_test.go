@@ -17,8 +17,9 @@ func BenchmarkChannelNeighborQuery(b *testing.B) { BenchChannelNeighborQuery(b) 
 func BenchmarkChannelNeighborQuerySparse(b *testing.B) {
 	BenchChannelNeighborQuerySparse(b)
 }
-func BenchmarkEndToEndBenchScale(b *testing.B) { BenchEndToEndBenchScale(b) }
-func BenchmarkCampaignReplicates(b *testing.B) { BenchCampaignReplicates(b) }
+func BenchmarkChannelDeliverImpaired(b *testing.B) { BenchChannelDeliverImpaired(b) }
+func BenchmarkEndToEndBenchScale(b *testing.B)     { BenchEndToEndBenchScale(b) }
+func BenchmarkCampaignReplicates(b *testing.B)     { BenchCampaignReplicates(b) }
 func BenchmarkCampaignReplicatesRebuild(b *testing.B) {
 	BenchCampaignReplicatesRebuild(b)
 }
@@ -35,6 +36,7 @@ func TestSuiteNamesMatchWrappers(t *testing.T) {
 		"BenchmarkMACContention":              true,
 		"BenchmarkChannelNeighborQuery":       true,
 		"BenchmarkChannelNeighborQuerySparse": true,
+		"BenchmarkChannelDeliverImpaired":     true,
 		"BenchmarkEndToEndBenchScale":         true,
 		"BenchmarkCampaignReplicates":         true,
 		"BenchmarkCampaignReplicatesRebuild":  true,
@@ -47,5 +49,19 @@ func TestSuiteNamesMatchWrappers(t *testing.T) {
 		if !want[c.Name] {
 			t.Errorf("suite case %q has no go-test wrapper", c.Name)
 		}
+	}
+}
+
+// TestChannelDeliverImpairedZeroAlloc is the hot-path gate of the
+// link-impairment subsystem: after warm-up (per-link states and signal
+// pools populated), a frame delivery through an impaired channel —
+// loss draws, jitter draws, capture arbitration — must not allocate.
+func TestChannelDeliverImpairedZeroAlloc(t *testing.T) {
+	sched, tx, _ := newImpairedPair()
+	if n := testing.AllocsPerRun(200, func() {
+		tx.Transmit("frame", 100e3)
+		sched.Run()
+	}); n != 0 {
+		t.Errorf("impaired delivery allocates %.1f times per frame, want 0", n)
 	}
 }

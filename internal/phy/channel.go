@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"manetsim/internal/geo"
+	"manetsim/internal/linkmodel"
 	"manetsim/internal/pkt"
 	"manetsim/internal/sim"
 )
@@ -67,8 +68,9 @@ func rxPower(d float64) float64 {
 type neighbor struct {
 	radio     *Radio
 	propDelay time.Duration
-	decodable bool    // within TxRange (otherwise interference/carrier-sense only)
+	decodable bool    // within decode range (otherwise interference/carrier-sense only)
 	power     float64 // relative received power at the neighbor
+	dist      float64 // link length in meters (input to distance-aware link models)
 }
 
 // Channel connects the radios of one scenario. Reachability is threshold
@@ -87,6 +89,15 @@ type Channel struct {
 	interval time.Duration // epoch period (mobile channels only)
 	grid     *spatialGrid
 
+	// Link impairment (SetLinkModel). A nil impairment model is the
+	// perfect channel: no per-link state is touched at all, so runs are
+	// byte-identical to builds without the linkmodel subsystem.
+	impair      linkmodel.Model
+	maxJitter   time.Duration // per-frame delay jitter bound (0 = none)
+	capture     float64       // capture power ratio (default CaptureThreshold)
+	impairSeed  uint64        // run seed feeding the per-link streams
+	decodeRange float64       // decode distance (TxRange unless the model extends it)
+
 	// Scratch for refreshPositions: the radios that moved this epoch and
 	// their previous positions. Reused across epochs, never escapes.
 	moved    []*Radio
@@ -104,7 +115,7 @@ type Channel struct {
 // returns it with one radio per node. The handler for each radio must be
 // set with Radio.SetHandler before any traffic flows.
 func NewChannel(sched *sim.Scheduler, positions []geo.Point) *Channel {
-	c := &Channel{sched: sched, grid: newSpatialGrid(CSRange)}
+	c := &Channel{sched: sched, grid: newSpatialGrid(CSRange), capture: CaptureThreshold, decodeRange: TxRange}
 	c.makeRadios(positions)
 	return c
 }
@@ -125,7 +136,7 @@ func NewMobileChannel(sched *sim.Scheduler, model PositionModel, interval time.D
 	for i := range positions {
 		positions[i] = model.PositionAt(i, sched.Now())
 	}
-	c := &Channel{sched: sched, grid: newSpatialGrid(CSRange)}
+	c := &Channel{sched: sched, grid: newSpatialGrid(CSRange), capture: CaptureThreshold, decodeRange: TxRange}
 	c.makeRadios(positions)
 	if !model.Static() {
 		c.model = model
@@ -154,6 +165,11 @@ func (c *Channel) Reset(model PositionModel, interval time.Duration) {
 		interval = DefaultUpdateInterval
 	}
 	c.NoCapture = false
+	c.impair = nil
+	c.maxJitter = 0
+	c.capture = CaptureThreshold
+	c.impairSeed = 0
+	c.decodeRange = TxRange
 	c.grid.reset()
 	now := c.sched.Now()
 	for i, r := range c.radios {
@@ -167,6 +183,42 @@ func (c *Channel) Reset(model PositionModel, interval time.Duration) {
 	} else {
 		c.model = nil
 		c.interval = 0
+	}
+}
+
+// SetLinkModel installs a link-impairment model on the channel: per-frame
+// corruption draws from model, uniform per-frame delay jitter in
+// [0, maxJitter), and an overridden capture power ratio (0 keeps the
+// default CaptureThreshold; NoCapture still disables capture entirely).
+// The per-directed-link random streams derive from seed, so two runs with
+// the same seed — fresh or over a reused arena — take identical draws.
+//
+// A nil model (or linkmodel.Perfect) with zero jitter restores the
+// perfect channel. Call after construction or Reset, before traffic
+// flows; the model is consulted once per (frame, receiver) on the
+// transmit path and must not change mid-run.
+func (c *Channel) SetLinkModel(model linkmodel.Model, maxJitter time.Duration, captureRatio float64, seed uint64) {
+	if _, perfect := model.(linkmodel.Perfect); perfect {
+		model = nil
+	}
+	c.impair = model
+	c.maxJitter = maxJitter
+	c.capture = CaptureThreshold
+	if captureRatio > 0 {
+		c.capture = captureRatio
+	}
+	c.impairSeed = seed
+	c.decodeRange = TxRange
+	if model != nil {
+		c.decodeRange = model.DecodeRange(TxRange, CSRange)
+	}
+	// Decodability and the per-link streams both changed shape: rebuild
+	// neighbor caches lazily and re-seed link states on next use.
+	for _, r := range c.radios {
+		r.nbValid = false
+		for _, st := range r.links {
+			st.Invalidate()
+		}
 	}
 }
 
@@ -251,8 +303,9 @@ func (c *Channel) neighborsOf(r *Radio) []neighbor {
 			r.nbCache = append(r.nbCache, neighbor{
 				radio:     other,
 				propDelay: PropagationDelay(d),
-				decodable: d <= TxRange,
+				decodable: d <= c.decodeRange,
 				power:     rxPower(d),
+				dist:      d,
 			})
 		}
 	})
@@ -393,6 +446,12 @@ type Radio struct {
 	nbCache []neighbor
 	nbValid bool
 
+	// Per-directed-link impairment streams, keyed by receiver and seeded
+	// lazily from the channel's impairSeed (see linkState). Entries are
+	// allocated once per link ever contacted and reused across arena
+	// runs; the steady-state transmit path only looks them up.
+	links map[pkt.NodeID]*linkmodel.State
+
 	txUntil   sim.Time // end of own transmission (0 => not transmitting)
 	airCount  int      // signals currently arriving (any strength)
 	decoding  *signal  // frame currently being decoded, if any
@@ -405,6 +464,26 @@ type Radio struct {
 	FramesSent      uint64
 	FramesDelivered uint64
 	Collisions      uint64 // receptions corrupted at this node
+	FramesImpaired  uint64 // outgoing frame copies killed by the link model
+}
+
+// linkState returns the impairment stream of the directed link from this
+// radio to the given receiver, creating and seeding it on first contact.
+// After a reset (or SetLinkModel) existing states are merely invalidated,
+// so steady-state traffic never allocates here.
+func (r *Radio) linkState(to pkt.NodeID) *linkmodel.State {
+	st := r.links[to]
+	if st == nil {
+		if r.links == nil {
+			r.links = make(map[pkt.NodeID]*linkmodel.State, 8)
+		}
+		st = new(linkmodel.State)
+		r.links[to] = st
+	}
+	if !st.Seeded() {
+		st.Seed(linkmodel.LinkSeed(r.ch.impairSeed, uint32(r.id), uint32(to)))
+	}
+	return st
 }
 
 // reset returns the radio to its just-constructed state at pos, keeping
@@ -425,6 +504,12 @@ func (r *Radio) reset(pos geo.Point) {
 	r.FramesSent = 0
 	r.FramesDelivered = 0
 	r.Collisions = 0
+	r.FramesImpaired = 0
+	// Keep the link-state allocations; invalidate so the next run's seed
+	// re-seeds each stream on first use.
+	for _, st := range r.links {
+		st.Invalidate()
+	}
 }
 
 // SetHandler installs the MAC-layer handler.
@@ -478,6 +563,7 @@ func (r *Radio) Transmit(frame any, airtime time.Duration) {
 		tx.frame = frame
 		tx.owner = r
 		tx.remaining = int32(len(neighbors))
+		impaired := r.ch.impair != nil || r.ch.maxJitter > 0
 		for i := range neighbors {
 			nb := &neighbors[i]
 			start := now + nb.propDelay
@@ -487,6 +573,21 @@ func (r *Radio) Transmit(frame any, airtime time.Duration) {
 			s.to = nb.radio
 			s.decodable = nb.decodable
 			s.power = nb.power
+			if impaired {
+				// Per-link draws in neighbor (id) order: one corruption
+				// draw per decodable copy, one jitter draw per copy. A
+				// corrupted copy still radiates — it arrives as noise
+				// (RxCorrupted/EIFS at the receiver), exactly like a
+				// sub-threshold signal.
+				st := r.linkState(nb.radio.id)
+				if s.decodable && r.ch.impair != nil && r.ch.impair.Corrupt(st, nb.dist) {
+					s.decodable = false
+					r.FramesImpaired++
+				}
+				if r.ch.maxJitter > 0 {
+					start += time.Duration(st.Float64() * float64(r.ch.maxJitter))
+				}
+			}
 			s.start = start
 			s.end = start + airtime
 			s.tx = tx
@@ -518,10 +619,11 @@ func (r *Radio) signalStart(s *signal) {
 		// Half duplex: nothing receivable during own transmission.
 	case r.decoding != nil:
 		// Overlap with an in-progress decode. ns-2 semantics: if the
-		// locked frame is at least 10 dB stronger the new signal is mere
-		// noise (capture); otherwise both are lost. The new signal is
-		// never decoded either way — the receiver stays locked.
-		if r.ch.NoCapture || r.decoding.power < CaptureThreshold*s.power {
+		// locked frame is stronger by the capture ratio (default 10 dB,
+		// overridable via SetLinkModel) the new signal is mere noise
+		// (capture); otherwise both are lost. The new signal is never
+		// decoded either way — the receiver stays locked.
+		if r.ch.NoCapture || r.decoding.power < r.ch.capture*s.power {
 			r.corrupted = true
 		}
 	case s.decodable && wasIdle:

@@ -201,6 +201,12 @@ func Grid() *Scenario { return core.Grid() }
 // ten random flows, drawn from the run's seed.
 func Random() *Scenario { return core.Random() }
 
+// HiddenTerminal returns the interference-limited hidden-terminal
+// topology: two parallel one-hop flows whose senders cannot carrier-sense
+// each other but still collide at the first receiver. Compare runs with
+// WithRTSThreshold off and on to measure the classic RTS/CTS trade-off.
+func HiddenTerminal() *Scenario { return core.HiddenTerminal() }
+
 // RandomField returns a seed-synthesized random topology: n nodes placed
 // uniformly on a width x height meter field with the given number of
 // random flows.
@@ -230,6 +236,52 @@ type MobilityKind = core.MobilityKind
 // MobilitySpec configures node movement over a run (random waypoint speed
 // range, pause time, field bounds, endpoint pinning).
 type MobilitySpec = core.MobilitySpec
+
+// LinkModelSpec configures per-link impairments for a run: the model
+// selected by registry Name — "perfect" (the default), "uniform" (alias
+// "loss"), "ber", "gilbert-elliott" (alias "ge"), "distance", or anything
+// added with RegisterLinkModel — plus its parameters, an optional per-link
+// delay Jitter and the receiver capture-threshold override CaptureRatio.
+// The zero spec is the perfect channel and keeps every run byte-identical
+// to the pre-impairment simulator. Apply one with WithLinkModel, a
+// Config.LinkModel field, or a Sweep's LinkModels axis.
+type LinkModelSpec = core.LinkModelSpec
+
+// UniformLossModel returns a spec dropping every frame copy independently
+// with probability p.
+func UniformLossModel(p float64) LinkModelSpec { return core.UniformLossModel(p) }
+
+// BERModel returns a spec derived from an independent bit error rate over
+// frameBits-bit frames: frame loss = 1-(1-ber)^frameBits.
+func BERModel(ber float64, frameBits int) LinkModelSpec {
+	return core.BERModel(ber, frameBits)
+}
+
+// GilbertElliottModel returns a bursty two-state loss spec: links flip
+// good->bad with pGoodBad and bad->good with pBadGood per frame, losing
+// lossBad of the frames sent while bad (and none while good).
+func GilbertElliottModel(pGoodBad, pBadGood, lossBad float64) LinkModelSpec {
+	return core.GilbertElliottModel(pGoodBad, pBadGood, lossBad)
+}
+
+// LinkModelInfo describes one registered link model (see LinkModels).
+type LinkModelInfo = core.LinkModelInfo
+
+// LinkModels lists every registered link-impairment model — built-in and
+// registered — sorted by name.
+func LinkModels() []LinkModelInfo { return core.LinkModels() }
+
+// LinkModelFactory builds the impairment model for a run from its spec;
+// it returns an error for unusable parameters.
+type LinkModelFactory = core.LinkModelFactory
+
+// RegisterLinkModel adds a link-impairment model under name, making it
+// selectable everywhere a LinkModelSpec goes: Run options, Campaign
+// sweeps, and cmd/manetsim -link-model. It panics on an empty or
+// duplicate name; register from init or main before any runs start.
+func RegisterLinkModel(name string, factory LinkModelFactory) {
+	core.RegisterLinkModel(name, factory)
+}
 
 // Config is the full description of one run: the scenario plus run-level
 // knobs. Run assembles one from its options; campaign sweeps and advanced

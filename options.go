@@ -54,6 +54,22 @@ func WithoutCapture() Option {
 	return func(c *Config) { c.NoCapture = true }
 }
 
+// WithLinkModel applies a link-impairment spec to every link of the run:
+// per-frame loss (uniform, BER-derived, Gilbert-Elliott bursts,
+// distance-dependent), per-link delay jitter, and the capture-ratio
+// override. The zero spec is the perfect channel, the default.
+func WithLinkModel(l LinkModelSpec) Option {
+	return func(c *Config) { c.LinkModel = l }
+}
+
+// WithRTSThreshold sets the MAC's dot11RTSThreshold in bytes: unicast
+// frames no larger than bytes skip the RTS/CTS handshake and go out as
+// basic-access DATA. 0 (the default) keeps the handshake on every frame,
+// the paper's setting; any value above the largest frame disables it.
+func WithRTSThreshold(bytes int) Option {
+	return func(c *Config) { c.RTSThreshold = bytes }
+}
+
 // CampaignOption configures a Campaign at construction (NewCampaign),
 // mirroring Run's functional options. The exported Campaign struct
 // fields these replace (Workers, DisableArenaReuse) keep working as
