@@ -196,8 +196,14 @@ func (c *Campaign) runStored(ctx context.Context, key string, cfg Config) (*Resu
 // what keeps concurrent arena use impossible: at most Workers runs are in
 // flight and the pool holds at most Workers arenas, each owned exclusively
 // while checked out.
-func (c *Campaign) runCore(ctx context.Context, cfg Config) (*Result, error) {
+//
+// A panicking simulation (a registered transport or fault injector with a
+// bug) is confined to its own run: the panic converts to that run's
+// error, and the World it ran in is dropped instead of returned to the
+// pool, so its possibly-corrupt state can never leak into later runs.
+func (c *Campaign) runCore(ctx context.Context, cfg Config) (res *Result, err error) {
 	if c.DisableArenaReuse {
+		defer recoverRunPanic(&err)
 		return core.RunContext(ctx, cfg)
 	}
 	var w *core.World
@@ -206,12 +212,26 @@ func (c *Campaign) runCore(ctx context.Context, cfg Config) (*Result, error) {
 	default:
 		w = core.NewWorld()
 	}
-	res, err := w.RunContext(ctx, cfg)
-	select {
-	case c.arenas <- w:
-	default:
+	defer func() {
+		if p := recover(); p != nil {
+			// Do not return the arena: the panic may have left it
+			// half-mutated.
+			res, err = nil, fmt.Errorf("manetsim: simulation panicked: %v", p)
+			return
+		}
+		select {
+		case c.arenas <- w:
+		default:
+		}
+	}()
+	return w.RunContext(ctx, cfg)
+}
+
+// recoverRunPanic converts a simulation panic into the run's error.
+func recoverRunPanic(err *error) {
+	if p := recover(); p != nil {
+		*err = fmt.Errorf("manetsim: simulation panicked: %v", p)
 	}
-	return res, err
 }
 
 // scaled fills a config's unset measurement budget and seed from the
@@ -425,6 +445,10 @@ type Sweep struct {
 	// from UniformLossModel). Empty collapses to Base.LinkModel — the
 	// perfect channel unless Base sets one.
 	LinkModels []LinkModelSpec
+	// Faults sweeps fault schedules: each entry is one run's complete
+	// fault plan (possibly empty — the fault-free baseline cell). Empty
+	// collapses to Base.Faults.
+	Faults [][]FaultSpec
 	// Seeds replicates every cell; replicate statistics aggregate across
 	// them with 95% confidence intervals.
 	Seeds []int64
@@ -447,16 +471,19 @@ type CellKey string
 // NewCellKey derives the canonical key of a cell. Two independently
 // built but equal scenario values produce the same key (the encoding
 // follows the pointer into nodes and flows).
-func NewCellKey(scn *Scenario, t TransportSpec, r Rate, lm LinkModelSpec, seeds []int64) CellKey {
+func NewCellKey(scn *Scenario, t TransportSpec, r Rate, lm LinkModelSpec, faults []FaultSpec, seeds []int64) CellKey {
 	b, err := json.Marshal(struct {
 		Scenario  *Scenario
 		Transport TransportSpec
 		Rate      Rate
 		LinkModel LinkModelSpec
-		Seeds     []int64
-	}{scn, t, r, lm, seeds})
+		// Fault-free cells omit the field, so their keys stay
+		// byte-identical to ones minted before the fault subsystem.
+		Faults []FaultSpec `json:",omitempty"`
+		Seeds  []int64
+	}{scn, t, r, lm, faults, seeds})
 	if err != nil {
-		// All four components are plain data; encoding cannot fail.
+		// All components are plain data; encoding cannot fail.
 		panic(fmt.Sprintf("manetsim: encoding cell key: %v", err))
 	}
 	return CellKey(b)
@@ -495,7 +522,11 @@ type Cell struct {
 	Transport TransportSpec
 	Rate      Rate
 	LinkModel LinkModelSpec
-	Seeds     []int64
+	// Faults is the cell's fault schedule (nil for fault-free cells;
+	// omitted from the JSON encoding so pre-fault cell documents stay
+	// identical).
+	Faults []FaultSpec `json:",omitempty"`
+	Seeds  []int64
 
 	// Runs holds one result per seed, in Seeds order.
 	Runs []*Result
@@ -506,11 +537,11 @@ type Cell struct {
 	Jain    Estimate // Jain's fairness index
 }
 
-// axes returns the sweep's effective transport, rate, link-model and seed
-// axes after empty-axis collapse: empty Transports/Rates/LinkModels fall
-// back to the Base config's value, empty Seeds to the campaign scale's
-// seed.
-func (sw Sweep) axes(scaleSeed int64) (transports []TransportSpec, rates []Rate, linkModels []LinkModelSpec, seeds []int64) {
+// axes returns the sweep's effective transport, rate, link-model, fault
+// and seed axes after empty-axis collapse: empty
+// Transports/Rates/LinkModels/Faults fall back to the Base config's
+// value, empty Seeds to the campaign scale's seed.
+func (sw Sweep) axes(scaleSeed int64) (transports []TransportSpec, rates []Rate, linkModels []LinkModelSpec, faults [][]FaultSpec, seeds []int64) {
 	transports = sw.Transports
 	if len(transports) == 0 {
 		transports = []TransportSpec{sw.Base.Transport}
@@ -523,6 +554,10 @@ func (sw Sweep) axes(scaleSeed int64) (transports []TransportSpec, rates []Rate,
 	if len(linkModels) == 0 {
 		linkModels = []LinkModelSpec{sw.Base.LinkModel}
 	}
+	faults = sw.Faults
+	if len(faults) == 0 {
+		faults = [][]FaultSpec{sw.Base.Faults}
+	}
 	seeds = sw.Seeds
 	if len(seeds) == 0 {
 		if scaleSeed == 0 {
@@ -530,14 +565,14 @@ func (sw Sweep) axes(scaleSeed int64) (transports []TransportSpec, rates []Rate,
 		}
 		seeds = []int64{scaleSeed}
 	}
-	return transports, rates, linkModels, seeds
+	return transports, rates, linkModels, faults, seeds
 }
 
 // GridSize returns how many runs the sweep expands to under the given
 // campaign scale (cells x seed replicates).
 func (sw Sweep) GridSize(scale Scale) int {
-	transports, rates, linkModels, seeds := sw.axes(scale.Seed)
-	return len(sw.Scenarios) * len(transports) * len(rates) * len(linkModels) * len(seeds)
+	transports, rates, linkModels, faults, seeds := sw.axes(scale.Seed)
+	return len(sw.Scenarios) * len(transports) * len(rates) * len(linkModels) * len(faults) * len(seeds)
 }
 
 // SweepEvent reports one completed run of a sweep grid to a progress
@@ -575,25 +610,28 @@ func (c *Campaign) SweepProgress(ctx context.Context, sw Sweep, onRun func(Sweep
 	if len(sw.Scenarios) == 0 {
 		return nil, errors.New("manetsim: Sweep needs at least one Scenario")
 	}
-	transports, rates, linkModels, seeds := sw.axes(c.Scale.Seed)
+	transports, rates, linkModels, faults, seeds := sw.axes(c.Scale.Seed)
 	var cells []Cell
 	var cfgs []Config
 	for _, scn := range sw.Scenarios {
 		for _, t := range transports {
 			for _, r := range rates {
 				for _, lm := range linkModels {
-					cells = append(cells, Cell{
-						Key:      NewCellKey(scn, t, r, lm, seeds),
-						Scenario: scn, Transport: t, Rate: r, LinkModel: lm, Seeds: seeds,
-					})
-					for _, seed := range seeds {
-						cfg := sw.Base
-						cfg.Scenario = scn
-						cfg.Transport = t
-						cfg.Bandwidth = r
-						cfg.LinkModel = lm
-						cfg.Seed = seed
-						cfgs = append(cfgs, cfg)
+					for _, fs := range faults {
+						cells = append(cells, Cell{
+							Key:      NewCellKey(scn, t, r, lm, fs, seeds),
+							Scenario: scn, Transport: t, Rate: r, LinkModel: lm, Faults: fs, Seeds: seeds,
+						})
+						for _, seed := range seeds {
+							cfg := sw.Base
+							cfg.Scenario = scn
+							cfg.Transport = t
+							cfg.Bandwidth = r
+							cfg.LinkModel = lm
+							cfg.Faults = fs
+							cfg.Seed = seed
+							cfgs = append(cfgs, cfg)
+						}
 					}
 				}
 			}

@@ -485,7 +485,7 @@ func TestCellKeyAddressing(t *testing.T) {
 		seen[cell.Key] = true
 		// The key is derivable from the cell's legacy positional fields —
 		// the two addressing schemes agree.
-		if want := NewCellKey(cell.Scenario, cell.Transport, cell.Rate, cell.LinkModel, cell.Seeds); cell.Key != want {
+		if want := NewCellKey(cell.Scenario, cell.Transport, cell.Rate, cell.LinkModel, cell.Faults, cell.Seeds); cell.Key != want {
 			t.Fatalf("cell key %s, want %s", cell.Key, want)
 		}
 		got, ok := FindCell(cells, cell.Key)
@@ -497,7 +497,7 @@ func TestCellKeyAddressing(t *testing.T) {
 		}
 	}
 	// Independently built equal scenarios address the same cell.
-	if k := NewCellKey(Chain(2), TransportSpec{Protocol: Vegas, Alpha: 2}, 0, LinkModelSpec{}, []int64{1, 2}); k != cells[0].Key {
+	if k := NewCellKey(Chain(2), TransportSpec{Protocol: Vegas, Alpha: 2}, 0, LinkModelSpec{}, nil, []int64{1, 2}); k != cells[0].Key {
 		t.Fatalf("independently built key %s, want %s", k, cells[0].Key)
 	}
 	if _, ok := FindCell(cells, CellKey("nope")); ok {

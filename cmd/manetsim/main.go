@@ -14,8 +14,11 @@
 //	manetsim -topology chain -hops 7 -protocol westwood -link-model uniform -loss 0.02
 //	manetsim -topology chain -hops 3 -link-model ber -ber 1e-5 -frame-bits 12224
 //	manetsim -topology hidden -protocol newreno -rts-threshold 4096
+//	manetsim -topology chain -hops 4 -fault crash@t=30,node=2,d=5s
+//	manetsim -topology grid -fault partition@t=45s,d=10s,cut=500 -fault blackout@t=80,from=1,to=2,d=5s
 //	manetsim -list-transports
 //	manetsim -list-link-models
+//	manetsim -list-faults
 //
 //	manetsim bench -json                      # run suite, write BENCH_<date>.json
 //	go test -bench=. ./internal/perf | manetsim bench -parse -out ci.json
@@ -82,6 +85,8 @@ func main() {
 		capRatio  = flag.Float64("capture-ratio", 0, "receiver capture power ratio; 0 = default 10 dB rule")
 		rtsThresh = flag.Int("rts-threshold", 0, "skip RTS/CTS for unicast frames <= bytes (0 = handshake on every frame)")
 
+		listFl = flag.Bool("list-faults", false, "print the fault registry and exit")
+
 		mobilityKind = flag.String("mobility", "none", "mobility model: none, waypoint")
 		vmax         = flag.Float64("vmax", 10, "random waypoint maximum speed [m/s]")
 		vmin         = flag.Float64("vmin", 1, "random waypoint minimum speed [m/s]")
@@ -92,6 +97,8 @@ func main() {
 		maxSimTime   = flag.Duration("max-sim-time", 0, "simulated-time bound (0 = 24h default); mobile runs can starve")
 		progress     = flag.Bool("progress", false, "stream per-batch progress while the run executes")
 	)
+	var faults faultFlags
+	flag.Var(&faults, "fault", "inject a fault: name@k=v,... e.g. crash@t=30,node=3 (repeatable; see -list-faults)")
 	flag.Parse()
 
 	if *listTr {
@@ -100,6 +107,10 @@ func main() {
 	}
 	if *listLM {
 		listLinkModels()
+		return
+	}
+	if *listFl {
+		listFaults()
 		return
 	}
 
@@ -193,6 +204,9 @@ func main() {
 	if *rtsThresh != 0 {
 		opts = append(opts, manetsim.WithRTSThreshold(*rtsThresh))
 	}
+	if len(faults.specs) > 0 {
+		opts = append(opts, manetsim.WithFaults(faults.specs...))
+	}
 	if *progress {
 		opts = append(opts, manetsim.WithObserver(manetsim.ObserverFuncs{
 			Progress: func(delivered, total int64, simTime time.Duration) {
@@ -221,6 +235,24 @@ func main() {
 	fmt.Printf("  route failures     %d false, %d true\n", res.FalseRouteFailures, res.TrueRouteFailures)
 	if res.ImpairedFrames > 0 {
 		fmt.Printf("  impaired frames    %d (%s)\n", res.ImpairedFrames, lspec.Label())
+	}
+	if fr := res.Faults; fr != nil {
+		fmt.Printf("  faults             %d injected, %v in outage, %d frames cut\n",
+			fr.Injected, fr.TimeInOutage.Round(time.Millisecond), fr.FramesCut)
+		fmt.Printf("  outage goodput     %.1f kbit/s during vs %.1f outside\n",
+			fr.GoodputDuringBps/1e3, fr.GoodputOutsideBps/1e3)
+		for _, o := range fr.Outages {
+			line := fmt.Sprintf("    %-30s", o.Fault)
+			if o.Recovered {
+				line += fmt.Sprintf(" first delivery after %v", o.TimeToRecover.Round(time.Millisecond))
+			}
+			if o.RecoveredAfterHeal {
+				line += fmt.Sprintf(", recovered %v after heal", o.TimeToRecoverAfterHeal.Round(time.Millisecond))
+			} else if o.End != 0 {
+				line += ", never recovered after heal"
+			}
+			fmt.Println(line)
+		}
 	}
 	fmt.Printf("  energy             %.1f J total, %.2f J/MB\n", res.Energy.TotalJoules, res.Energy.JoulesPerMB)
 	if res.Delay.N > 0 {

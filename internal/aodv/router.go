@@ -92,6 +92,7 @@ type Router struct {
 	seen    map[rreqKey]sim.Time
 	buffer  map[pkt.NodeID][]*pkt.Packet
 	pending map[pkt.NodeID]*discovery
+	down    bool // crashed by fault injection (see Deactivate)
 
 	deliver func(p *pkt.Packet)
 	// DropData, if set, observes every data packet the router drops
@@ -145,11 +146,37 @@ func (r *Router) Reset(cfg Config) {
 	clear(r.seen)
 	clear(r.buffer)
 	clear(r.pending)
+	r.down = false
 	r.DropData = nil
 	r.LinkAlive = nil
 	r.OnRouteFailure = nil
 	r.Counters = Counters{}
 }
+
+// Deactivate crashes the router mid-run: pending discoveries stop,
+// buffered packets are released, and the routing table plus duplicate
+// state is wiped — a restarted node rediscovers every route from
+// scratch, while its sequence number survives (monotone across reboots
+// keeps neighbors' freshness comparisons sound). Counters are preserved
+// so the run's cumulative batch deltas stay consistent.
+func (r *Router) Deactivate() {
+	r.down = true
+	for dst, d := range r.pending {
+		d.timer.Stop()
+		delete(r.pending, dst)
+	}
+	for dst, q := range r.buffer {
+		for _, p := range q {
+			p.Release()
+		}
+		delete(r.buffer, dst)
+	}
+	r.table.Reset(sim.Time(r.cfg.ActiveRouteTimeout))
+	clear(r.seen)
+}
+
+// Activate restarts a crashed router with an empty table.
+func (r *Router) Activate() { r.down = false }
 
 // Table exposes the routing table (read-mostly; used by tests and tools).
 func (r *Router) Table() *Table { return r.table }
@@ -157,6 +184,11 @@ func (r *Router) Table() *Table { return r.table }
 // Send routes a locally originated packet: forward over a known route or
 // buffer it and start a discovery.
 func (r *Router) Send(p *pkt.Packet) {
+	if r.down {
+		// Crashed node: nothing originates while down.
+		p.Release()
+		return
+	}
 	if p.Dst == r.id {
 		r.deliver(p)
 		return

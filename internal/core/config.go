@@ -312,6 +312,12 @@ type Config struct {
 	// to runs predating the subsystem.
 	LinkModel LinkModelSpec
 
+	// Faults is the run's fault schedule: deterministic, clock-driven
+	// disturbances (node crashes, link blackouts, partitions) injected at
+	// their configured times. Empty keeps today's fault-free behavior,
+	// byte-identical to runs predating the subsystem.
+	Faults []FaultSpec `json:",omitempty"`
+
 	// RTSThreshold enables 802.11 basic access for short frames: unicast
 	// packets of at most this many bytes skip the RTS/CTS handshake.
 	// 0 keeps RTS/CTS on every unicast frame (the paper's setting); a
@@ -382,6 +388,11 @@ func (c Config) validate() error {
 	}
 	if err := c.LinkModel.validate("Config.LinkModel", epoch); err != nil {
 		return err
+	}
+	for i, f := range c.Faults {
+		if err := f.validate(fmt.Sprintf("Config.Faults[%d]", i), c.Scenario.NumNodes()); err != nil {
+			return err
+		}
 	}
 	if c.RTSThreshold < 0 {
 		return fmt.Errorf("core: negative RTSThreshold %d (bytes; 0 keeps RTS/CTS on every unicast frame)", c.RTSThreshold)

@@ -115,6 +115,58 @@ type DelaySummary struct {
 	N    int64
 }
 
+// OutageReport measures one injected fault's outage window and the
+// network's recovery from it, at delivery granularity: recovery is the
+// first new in-order packet delivered (on any flow) at or after the
+// instant in question.
+type OutageReport struct {
+	// Fault is the injected spec's label (FaultSpec.Label).
+	Fault string
+	// Start is the injection instant; End the heal instant (zero for a
+	// permanent fault).
+	Start time.Duration
+	End   time.Duration `json:",omitempty"`
+	// Recovered reports whether any delivery happened at or after the
+	// injection; TimeToRecover is the gap from injection to that first
+	// delivery (how long the fault stalled end-to-end progress).
+	Recovered     bool          `json:",omitempty"`
+	TimeToRecover time.Duration `json:",omitempty"`
+	// RecoveredAfterHeal and TimeToRecoverAfterHeal measure the same from
+	// the heal instant: how long routing and the transport took to get
+	// traffic flowing again once the fault cleared. Unset for permanent
+	// faults.
+	RecoveredAfterHeal     bool          `json:",omitempty"`
+	TimeToRecoverAfterHeal time.Duration `json:",omitempty"`
+}
+
+// FaultReport aggregates a faulted run's resilience metrics. Nil on
+// fault-free runs (the JSON encoding omits it, keeping their identity).
+type FaultReport struct {
+	// Injected is the number of scheduled faults.
+	Injected int
+	// Outages reports each fault's window and recovery, in schedule order.
+	Outages []OutageReport
+	// TimeInOutage is the simulated time with at least one fault active
+	// (overlapping windows merged, clamped to the run).
+	TimeInOutage time.Duration
+	// DeliveredDuring and DeliveredOutside split the run's deliveries by
+	// whether any fault was active at delivery time;
+	// GoodputDuringBps/GoodputOutsideBps are the corresponding payload
+	// rates. A healthy recovery shows GoodputDuringBps well below
+	// GoodputOutsideBps with both nonzero.
+	DeliveredDuring   int64
+	DeliveredOutside  int64
+	GoodputDuringBps  float64
+	GoodputOutsideBps float64
+	// FramesCut counts frame copies killed in flight by the fault plane
+	// (severed links and partitions; a crashed node stops transmitting
+	// rather than radiating undecodable frames).
+	FramesCut uint64
+	// RouteFailures totals AODV route teardowns over the whole run
+	// (true + false), the route-repair work the faults triggered.
+	RouteFailures uint64
+}
+
 // Result is the outcome of one Run.
 type Result struct {
 	Config Config
@@ -141,6 +193,10 @@ type Result struct {
 	// ImpairedFrames counts frame copies killed by the link-impairment
 	// model over the whole run (0 under the perfect channel).
 	ImpairedFrames uint64 `json:",omitempty"`
+
+	// Faults carries the resilience metrics of a faulted run; nil when
+	// the config schedules no faults.
+	Faults *FaultReport `json:",omitempty"`
 
 	Delivered int64         // total packets delivered (incl. warm-up)
 	SimTime   time.Duration // simulated duration

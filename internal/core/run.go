@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"manetsim/internal/aodv"
+	"manetsim/internal/fault"
 	"manetsim/internal/geo"
 	"manetsim/internal/mac"
 	"manetsim/internal/node"
@@ -47,6 +49,21 @@ type scenarioState struct {
 	arenaSink    []*tcp.Sink
 	arenaUSrc    []*udp.Sender
 	arenaUSink   []*udp.Sink
+
+	// Fault plane. plane is non-nil exactly when the run schedules
+	// faults; arenaPlane keeps the allocation across arena runs.
+	// injectors holds the built fault schedule, flowState the per-flow
+	// application state the crash/restore hooks drive, and outages/marks
+	// the recovery bookkeeping behind Result.Faults.
+	plane      *fault.Plane
+	arenaPlane *fault.Plane
+	injectors  []fault.Fault
+	flowState  []uint8
+	outages    []OutageReport
+	marks      []recoveryMark
+	nextMark   int
+
+	deliveredDuring int64 // deliveries while >=1 fault active
 
 	delivered      int64
 	nextBatchAt    int64
@@ -102,6 +119,33 @@ func growSlice[T any](s []T, n int) []T {
 		return ns
 	}
 	return s[:n]
+}
+
+// Per-flow application states driven by the fault hooks: a flow whose
+// start time arrived while its source was down is due (it launches at
+// restore), a running flow whose source crashes is halted (it resumes at
+// restore, congestion state cold).
+const (
+	flowNotStarted uint8 = iota
+	flowRunning
+	flowHalted
+	flowDue
+)
+
+// recoveryMark is one pending recovery measurement: the first delivery at
+// or after t resolves it (see OutageReport).
+type recoveryMark struct {
+	t         sim.Time
+	outage    int
+	afterHeal bool
+}
+
+// haltResumer is the crash/restore hook of window-based senders
+// (tcp.Engine). Raw transports (paced UDP) are suspended through their
+// own Stop/Start instead.
+type haltResumer interface {
+	Halt()
+	Resume()
 }
 
 // geoEqual reports element-wise equality of two placements.
@@ -176,6 +220,9 @@ func (s *scenarioState) finishRun(ctx context.Context) (*Result, error) {
 	for _, n := range s.nodes {
 		res.ImpairedFrames += n.Radio.FramesImpaired
 	}
+	if s.plane != nil {
+		res.Faults = s.faultReport(res)
+	}
 	if s.delay.N() > 0 {
 		res.Delay = DelaySummary{
 			Mean: s.delay.Mean(),
@@ -206,6 +253,7 @@ func (s *scenarioState) build(reuse bool) error {
 	s.flows = flows
 	s.perFlowPackets = resetSlice(s.perFlowPackets, len(flows))
 	s.lastRtx = resetSlice(s.lastRtx, len(flows))
+	s.flowState = resetSlice(s.flowState, len(flows))
 
 	// Mobility models are cheap and draw nothing at construction; always
 	// rebuilding keeps the reuse path trivially draw-order identical.
@@ -242,6 +290,31 @@ func (s *scenarioState) build(reuse bool) error {
 		return err
 	}
 	ch.SetLinkModel(impair, s.cfg.LinkModel.Jitter, s.cfg.LinkModel.CaptureRatio, uint64(s.cfg.Seed))
+	// The fault plane rides on the channel the same way: installed fresh
+	// every build (channel Reset cleared it), non-nil exactly when the run
+	// schedules faults, so fault-free runs keep the one-comparison fast
+	// path. Injectors are built (and their factories' errors surfaced)
+	// here; scheduling happens in start.
+	s.injectors = s.injectors[:0]
+	if len(s.cfg.Faults) > 0 {
+		for _, spec := range s.cfg.Faults {
+			inj, err := buildFault(spec)
+			if err != nil {
+				return err
+			}
+			s.injectors = append(s.injectors, inj)
+		}
+		if s.arenaPlane == nil {
+			s.arenaPlane = new(fault.Plane)
+		}
+		s.plane = s.arenaPlane
+		s.plane.Reset(len(pts))
+		s.plane.OnNodeDown = s.crashNode
+		s.plane.OnNodeUp = s.restoreNode
+		ch.SetFaultPlane(s.plane)
+	} else {
+		s.plane = nil
+	}
 	for _, n := range s.nodes {
 		n.OnFlowDelivery = s.onDelivery
 	}
@@ -363,7 +436,10 @@ func (s *scenarioState) buildFlow(fi int, f Flow, tspec TransportSpec) error {
 }
 
 // start launches every flow at its start offset plus a small decorrelating
-// jitter and opens the first batch.
+// jitter, schedules the fault plan, and opens the first batch. The fault
+// events are scheduled after the flow-start jitter draws and themselves
+// draw nothing, so a faulted run's random stream matches its fault-free
+// twin everywhere outside the fault reactions.
 func (s *scenarioState) start() {
 	s.cur = s.newBatch(0)
 	s.nextBatchAt = s.cfg.BatchPackets
@@ -371,6 +447,13 @@ func (s *scenarioState) start() {
 		fi := fi
 		jitter := sim.Time(s.sched.Rand().Int63n(int64(10 * time.Millisecond)))
 		s.sched.At(s.flows[fi].Start+jitter, func() {
+			if s.plane != nil && s.plane.NodeDown(s.flows[fi].Src) {
+				// Start time arrived mid-crash: the application launches
+				// when its host restarts (see restoreNode).
+				s.flowState[fi] = flowDue
+				return
+			}
+			s.flowState[fi] = flowRunning
 			if snd := s.senders[fi]; snd != nil {
 				snd.Start()
 			}
@@ -378,6 +461,102 @@ func (s *scenarioState) start() {
 				u.Start()
 			}
 		})
+	}
+	if s.plane != nil {
+		s.scheduleFaults()
+	}
+}
+
+// scheduleFaults places the run's fault schedule on the event queue and
+// sets up the recovery bookkeeping behind Result.Faults: one outage
+// report per spec plus time-ordered recovery marks resolved by the first
+// delivery at or after each injection/heal instant.
+func (s *scenarioState) scheduleFaults() {
+	env := fault.Env{Sched: s.sched, Plane: s.plane, Positions: s.positions}
+	for _, inj := range s.injectors {
+		inj.Schedule(env)
+	}
+	s.outages = s.outages[:0]
+	s.marks = s.marks[:0]
+	s.nextMark = 0
+	s.deliveredDuring = 0
+	for i, spec := range s.cfg.Faults {
+		o := OutageReport{Fault: spec.Label(), Start: spec.At}
+		if spec.Duration > 0 {
+			o.End = spec.At + spec.Duration
+		}
+		s.outages = append(s.outages, o)
+		s.marks = append(s.marks, recoveryMark{t: spec.At, outage: i})
+		if o.End > 0 {
+			s.marks = append(s.marks, recoveryMark{t: o.End, outage: i, afterHeal: true})
+		}
+	}
+	sort.Slice(s.marks, func(a, b int) bool { return s.marks[a].t < s.marks[b].t })
+}
+
+// crashNode is the fault plane's node-down hook: the whole local stack
+// goes dark. The MAC and router deactivate preserving their cumulative
+// counters (batch deltas stay consistent across the outage), running
+// transport endpoints halt, and sinks stop generating ACKs. In-flight
+// frames finish on the air — the radio layer suppresses their decode and
+// completion callbacks.
+func (s *scenarioState) crashNode(id pkt.NodeID) {
+	s.nodes[id].MAC.Deactivate()
+	if r := s.routers[id]; r != nil {
+		r.Deactivate()
+	}
+	for fi := range s.flows {
+		f := &s.flows[fi]
+		if f.Src == id && s.flowState[fi] == flowRunning {
+			if h, ok := s.senders[fi].(haltResumer); ok {
+				h.Halt()
+			}
+			if u := s.udpSrcs[fi]; u != nil {
+				u.Stop()
+			}
+			s.flowState[fi] = flowHalted
+		}
+		if f.Dst == id {
+			if snk := s.sinks[fi]; snk != nil {
+				snk.Halt()
+			}
+		}
+	}
+}
+
+// restoreNode is the fault plane's node-up hook: the stack reboots cold.
+// The router restarts with an empty table (its sequence number survives,
+// keeping AODV freshness comparisons sound), halted flows resume from
+// their first unacknowledged packet with freshly initialized congestion
+// state, and flows whose start time passed during the outage launch now.
+func (s *scenarioState) restoreNode(id pkt.NodeID) {
+	s.nodes[id].MAC.Activate()
+	if r := s.routers[id]; r != nil {
+		r.Activate()
+	}
+	for fi := range s.flows {
+		f := &s.flows[fi]
+		if f.Src != id {
+			continue
+		}
+		switch s.flowState[fi] {
+		case flowHalted:
+			if h, ok := s.senders[fi].(haltResumer); ok {
+				h.Resume()
+			}
+			if u := s.udpSrcs[fi]; u != nil {
+				u.Start()
+			}
+			s.flowState[fi] = flowRunning
+		case flowDue:
+			if snd := s.senders[fi]; snd != nil {
+				snd.Start()
+			}
+			if u := s.udpSrcs[fi]; u != nil {
+				u.Start()
+			}
+			s.flowState[fi] = flowRunning
+		}
 	}
 }
 
@@ -393,6 +572,9 @@ func (s *scenarioState) newBatch(start time.Duration) Batch {
 // onDelivery advances goodput accounting and closes batches at the paper's
 // packet-count boundaries.
 func (s *scenarioState) onDelivery(flow int, n int64) {
+	if s.plane != nil {
+		s.noteFaultDelivery(n)
+	}
 	s.delivered += n
 	s.perFlowPackets[flow] += n
 	s.cur.PerFlowPackets[flow] += n
@@ -404,6 +586,90 @@ func (s *scenarioState) onDelivery(flow int, n int64) {
 			s.sched.Stop()
 		}
 	}
+}
+
+// noteFaultDelivery advances the resilience accounting on each goodput
+// delivery of a faulted run: the during-outage delivery split (keyed by
+// the plane's live active count) and the pending recovery marks (sorted
+// by time, so one comparison suffices when none is due).
+func (s *scenarioState) noteFaultDelivery(n int64) {
+	if !s.plane.Quiet() {
+		s.deliveredDuring += n
+	}
+	if s.nextMark >= len(s.marks) {
+		return
+	}
+	now := s.sched.Now()
+	for s.nextMark < len(s.marks) && s.marks[s.nextMark].t <= now {
+		m := s.marks[s.nextMark]
+		o := &s.outages[m.outage]
+		if m.afterHeal {
+			o.RecoveredAfterHeal = true
+			o.TimeToRecoverAfterHeal = now - o.End
+		} else {
+			o.Recovered = true
+			o.TimeToRecover = now - o.Start
+		}
+		s.nextMark++
+	}
+}
+
+// faultReport assembles Result.Faults at end of run: the per-outage
+// recovery reports, the merged time-in-outage, and the goodput split
+// between outage and healthy time.
+func (s *scenarioState) faultReport(res *Result) *FaultReport {
+	rep := &FaultReport{
+		Injected: len(s.cfg.Faults),
+		Outages:  append([]OutageReport(nil), s.outages...),
+	}
+	// Merge the outage windows (permanent faults extend to end of run,
+	// everything clamps to the simulated span) into total outage time.
+	type span struct{ a, b time.Duration }
+	spans := make([]span, 0, len(s.outages))
+	for _, o := range s.outages {
+		a, b := o.Start, o.End
+		if b == 0 {
+			b = res.SimTime
+		}
+		if a >= res.SimTime {
+			continue
+		}
+		if b > res.SimTime {
+			b = res.SimTime
+		}
+		if b > a {
+			spans = append(spans, span{a, b})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].a < spans[j].a })
+	var inOutage, end time.Duration
+	for _, sp := range spans {
+		if sp.a > end {
+			inOutage += sp.b - sp.a
+			end = sp.b
+		} else if sp.b > end {
+			inOutage += sp.b - end
+			end = sp.b
+		}
+	}
+	rep.TimeInOutage = inOutage
+	rep.DeliveredDuring = s.deliveredDuring
+	rep.DeliveredOutside = res.Delivered - s.deliveredDuring
+	if secs := inOutage.Seconds(); secs > 0 {
+		rep.GoodputDuringBps = float64(rep.DeliveredDuring) * pkt.TCPPayloadSize * 8 / secs
+	}
+	if secs := (res.SimTime - inOutage).Seconds(); secs > 0 {
+		rep.GoodputOutsideBps = float64(rep.DeliveredOutside) * pkt.TCPPayloadSize * 8 / secs
+	}
+	for _, n := range s.nodes {
+		rep.FramesCut += n.Radio.FramesFaulted
+	}
+	for _, r := range s.routers {
+		if r != nil {
+			rep.RouteFailures += r.Counters.FalseRouteFailures + r.Counters.TrueRouteFailures
+		}
+	}
+	return rep
 }
 
 // closeBatch snapshots cumulative counters into the finished batch and

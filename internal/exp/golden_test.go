@@ -33,6 +33,10 @@ var goldenFigureHashes = map[string]string{
 	// streams, the uniform loss model and the Reno/Westwood+ separation
 	// under random loss, from the moment they shipped.
 	"lossy": "865f415ac177f76413017ba9d049ca31b677afd73d2d537f4b93bd68415d98ec",
+	// chaos pins the fault-injection subsystem: scheduled node-crash,
+	// blackout and partition transitions, the resilience metrics, and
+	// the byte-determinism of faulted runs, from the moment they shipped.
+	"chaos": "78ac74fef6d3361a8f84a006eefd0d92ce2dca453f4885ec3f4f5091f8d73fa2",
 }
 
 // figureDigest canonicalizes a figure through JSON (struct-ordered, no

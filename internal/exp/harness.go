@@ -115,6 +115,7 @@ var registry = map[string]func(h *Harness) (*Figure, error){
 	"ccextensions": CCExtensions,
 	"coexist":      Coexist,
 	"lossy":        Lossy,
+	"chaos":        Chaos,
 	"latency":      Latency,
 	"optwindow":    OptWindow,
 	"mobility":     Mobility,

@@ -89,6 +89,13 @@ type DCF struct {
 	respInFlight bool
 	respPending  bool
 
+	// down marks a crashed node (fault injection): the MAC neither serves
+	// its queue nor responds until Activate. The PHY suppresses handler
+	// indications for down nodes, so the flag only guards entry points
+	// reachable from this node's own layers and pre-crash scheduled
+	// events.
+	down bool
+
 	// receiver-side duplicate suppression (ACK lost => MAC retransmits)
 	seen     map[uint64]bool
 	seenRing []uint64
@@ -170,6 +177,7 @@ func (d *DCF) Reset(cfg Config) {
 	d.ssrc, d.slrc = 0, 0
 	d.respInFlight = false
 	d.respPending = false
+	d.down = false
 	clear(d.seen)
 	for i := range d.seenRing {
 		d.seenRing[i] = 0
@@ -178,6 +186,51 @@ func (d *DCF) Reset(cfg Config) {
 	d.Counters = Counters{}
 	d.radio.SetHandler(d)
 	d.radio.OnFrameReleased = d.frameReleased
+}
+
+// Deactivate crashes the MAC mid-run: every timer stops, the queue and
+// the packet in service are released, and the contention state machine
+// returns to idle. Counters are preserved — a crash must not disturb the
+// run's cumulative batch deltas. A frame already on the air completes
+// (the PHY drops its completion indication); frames released by the
+// channel keep recycling into the pool while the node is down.
+func (d *DCF) Deactivate() {
+	d.down = true
+	d.deferTimer.Stop()
+	d.ctsTimer.Stop()
+	d.ackTimer.Stop()
+	d.navTimer.Stop()
+	for i := range d.queue {
+		d.queue[i].p.Release()
+		d.queue[i] = txItem{}
+	}
+	d.queue = d.queue[:0]
+	if d.cur != nil {
+		d.cur.p.Release()
+		d.cur = nil
+		d.curSlot = txItem{}
+	}
+	d.ph = phaseIdle
+	d.cw = CWMin
+	d.backoffSlots = 0
+	d.counting = false
+	d.countStart = 0
+	d.curIFS = 0
+	d.useEIFS = false
+	d.navUntil = 0
+	d.ssrc, d.slrc = 0, 0
+	d.respInFlight = false
+	d.respPending = false
+}
+
+// Activate restarts a crashed MAC with fresh contention state (stale NAV
+// reservations from before the crash are discarded; counters carry over)
+// and resumes service of whatever the layers above enqueue next.
+func (d *DCF) Activate() {
+	d.down = false
+	d.cw = CWMin
+	d.useEIFS = false
+	d.kick()
 }
 
 // newFrame takes a frame from the transmit pool (or allocates one). The
@@ -227,6 +280,12 @@ func (d *DCF) QueueLen() int { return len(d.queue) }
 // pkt.Broadcast). It reports false when the interface queue is full and
 // the packet was dropped.
 func (d *DCF) Enqueue(p *pkt.Packet, nextHop pkt.NodeID) bool {
+	if d.down {
+		// Crashed interface: consume and discard without counting — the
+		// node is off, not congested.
+		p.Release()
+		return false
+	}
 	if nextHop == pkt.Broadcast {
 		d.Counters.BcastSubmitted++
 	} else {
@@ -270,7 +329,7 @@ func (d *DCF) mediumBusy() bool {
 // kick advances the contention state machine. It is safe to call at any
 // time; it does nothing unless a countdown can start or resume.
 func (d *DCF) kick() {
-	if d.respInFlight || d.radio.Transmitting() {
+	if d.down || d.respInFlight || d.radio.Transmitting() {
 		return
 	}
 	if d.ph != phaseIdle && d.ph != phaseContend {
@@ -627,7 +686,7 @@ func respFire(a any) {
 	air, counter := f.respAir, f.respCounter
 	f.respMAC, f.respAir, f.respCounter = nil, 0, nil
 	d.respPending = false
-	if d.radio.Transmitting() || d.respInFlight {
+	if d.down || d.radio.Transmitting() || d.respInFlight {
 		d.recycleFrame(f)
 		return
 	}

@@ -19,6 +19,7 @@ func BenchmarkChannelNeighborQuerySparse(b *testing.B) {
 }
 func BenchmarkChannelDeliverImpaired(b *testing.B) { BenchChannelDeliverImpaired(b) }
 func BenchmarkEndToEndBenchScale(b *testing.B)     { BenchEndToEndBenchScale(b) }
+func BenchmarkRunWithFaults(b *testing.B)          { BenchRunWithFaults(b) }
 func BenchmarkCampaignReplicates(b *testing.B)     { BenchCampaignReplicates(b) }
 func BenchmarkCampaignReplicatesRebuild(b *testing.B) {
 	BenchCampaignReplicatesRebuild(b)
@@ -38,6 +39,7 @@ func TestSuiteNamesMatchWrappers(t *testing.T) {
 		"BenchmarkChannelNeighborQuerySparse": true,
 		"BenchmarkChannelDeliverImpaired":     true,
 		"BenchmarkEndToEndBenchScale":         true,
+		"BenchmarkRunWithFaults":              true,
 		"BenchmarkCampaignReplicates":         true,
 		"BenchmarkCampaignReplicatesRebuild":  true,
 	}
@@ -63,5 +65,26 @@ func TestChannelDeliverImpairedZeroAlloc(t *testing.T) {
 		sched.Run()
 	}); n != 0 {
 		t.Errorf("impaired delivery allocates %.1f times per frame, want 0", n)
+	}
+}
+
+// TestChannelDeliverFaultedZeroAlloc extends the gate to the fault
+// plane: with an active blackout installed on the channel, the
+// steady-state delivery path — severance checks on every copy plus the
+// usual impairment draws — must still not allocate.
+func TestChannelDeliverFaultedZeroAlloc(t *testing.T) {
+	sched, tx, sink, plane := newFaultedPair()
+	if plane.Quiet() {
+		t.Fatal("fault plane inactive; the gate would only measure the quiet path")
+	}
+	before := sink.rx + sink.corrupted
+	if n := testing.AllocsPerRun(200, func() {
+		tx.Transmit("frame", 100e3)
+		sched.Run()
+	}); n != 0 {
+		t.Errorf("faulted delivery allocates %.1f times per frame, want 0", n)
+	}
+	if sink.rx+sink.corrupted == before {
+		t.Fatal("nothing reached the unsevered receiver")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"manetsim"
 	"manetsim/internal/core"
 	"manetsim/internal/exp"
+	"manetsim/internal/fault"
 	"manetsim/internal/geo"
 	"manetsim/internal/linkmodel"
 	"manetsim/internal/mac"
@@ -44,6 +45,7 @@ func Suite() []Case {
 		{"BenchmarkChannelNeighborQuerySparse", BenchChannelNeighborQuerySparse},
 		{"BenchmarkChannelDeliverImpaired", BenchChannelDeliverImpaired},
 		{"BenchmarkEndToEndBenchScale", BenchEndToEndBenchScale},
+		{"BenchmarkRunWithFaults", BenchRunWithFaults},
 		{"BenchmarkCampaignReplicates", BenchCampaignReplicates},
 		{"BenchmarkCampaignReplicatesRebuild", BenchCampaignReplicatesRebuild},
 	}
@@ -276,6 +278,69 @@ func BenchChannelDeliverImpaired(b *testing.B) {
 	b.StopTimer()
 	if sink.rx+sink.corrupted == 0 {
 		b.Fatal("nothing arrived at the receiver")
+	}
+}
+
+// newFaultedPair is newImpairedPair with the fault plane installed and
+// active: the gray-zone link 0<->2 is blacked out, so every transmit
+// walks the severance checks on each copy with the plane in its
+// non-quiet state while the decodable receiver keeps delivering.
+func newFaultedPair() (*sim.Scheduler, *phy.Radio, *sinkHandler, *fault.Plane) {
+	sched := sim.NewScheduler(1)
+	ch := phy.NewChannel(sched, []geo.Point{{X: 0, Y: 0}, {X: 200, Y: 0}, {X: 400, Y: 0}})
+	ch.SetLinkModel(linkmodel.GilbertElliott{
+		PGoodBad: 0.05, PBadGood: 0.3, LossBad: 0.5,
+	}, 10*time.Microsecond, 0, 1)
+	plane := &fault.Plane{}
+	plane.Reset(3)
+	plane.BlockLink(0, 2)
+	plane.BlockLink(2, 0)
+	ch.SetFaultPlane(plane)
+	sink := &sinkHandler{}
+	tx := ch.Radio(0)
+	tx.SetHandler(&sinkHandler{})
+	ch.Radio(1).SetHandler(sink)
+	ch.Radio(2).SetHandler(&sinkHandler{})
+	tx.Transmit("warmup", 100*time.Microsecond)
+	sched.Run()
+	return sched, tx, sink, plane
+}
+
+// BenchRunWithFaults is the end-to-end resilience figure: a complete
+// 4-hop NewReno chain run at the BenchScale budget with a mid-chain
+// crash-and-restart injected — fault event dispatch, severance checks on
+// the forwarding path, recovery-mark accounting and the outage report
+// all included. Its gap to BenchmarkEndToEndBenchScale bounds the cost
+// of carrying a fault schedule.
+func BenchRunWithFaults(b *testing.B) {
+	scale := exp.BenchScale
+	cfg := core.Config{
+		Scenario:     core.Chain(4),
+		Bandwidth:    phy.Rate2Mbps,
+		Transport:    core.TransportSpec{Protocol: core.ProtoNewReno},
+		Seed:         scale.Seed,
+		TotalPackets: scale.TotalPackets,
+		BatchPackets: scale.BatchPackets,
+		Faults: []core.FaultSpec{
+			core.CrashFault(2, 2*time.Second, 2*time.Second),
+		},
+	}
+	var res *core.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if res != nil {
+		if res.Faults == nil || !res.Faults.Outages[0].RecoveredAfterHeal {
+			b.Fatal("faulted benchmark run never recovered")
+		}
+		b.ReportMetric(float64(res.Delivered)*float64(b.N)/b.Elapsed().Seconds(), "packets/s")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"time"
 
+	"manetsim/internal/fault"
 	"manetsim/internal/geo"
 	"manetsim/internal/linkmodel"
 	"manetsim/internal/pkt"
@@ -98,6 +99,11 @@ type Channel struct {
 	impairSeed  uint64        // run seed feeding the per-link streams
 	decodeRange float64       // decode distance (TxRange unless the model extends it)
 
+	// Fault plane (SetFaultPlane). A nil plane — or a quiet one — is the
+	// fault-free channel: a single counter comparison is the only cost the
+	// hot path ever pays.
+	faults *fault.Plane
+
 	// Scratch for refreshPositions: the radios that moved this epoch and
 	// their previous positions. Reused across epochs, never escapes.
 	moved    []*Radio
@@ -170,6 +176,7 @@ func (c *Channel) Reset(model PositionModel, interval time.Duration) {
 	c.capture = CaptureThreshold
 	c.impairSeed = 0
 	c.decodeRange = TxRange
+	c.faults = nil
 	c.grid.reset()
 	now := c.sched.Now()
 	for i, r := range c.radios {
@@ -221,6 +228,15 @@ func (c *Channel) SetLinkModel(model linkmodel.Model, maxJitter time.Duration, c
 		}
 	}
 }
+
+// SetFaultPlane installs the run's fault plane: frame copies over severed
+// links are forced undecodable (before any link-model loss draw, so the two
+// subsystems compose without perturbing each other's streams), crashed
+// nodes neither decode nor indicate to their MAC, and Reachable reflects
+// severed links so routing classifies give-ups toward them as true
+// failures. A nil plane restores the fault-free channel. Call after
+// construction or Reset, before traffic flows.
+func (c *Channel) SetFaultPlane(p *fault.Plane) { c.faults = p }
 
 func (c *Channel) makeRadios(positions []geo.Point) {
 	c.radios = make([]*Radio, len(positions))
@@ -328,11 +344,15 @@ func (c *Channel) Distance(a, b pkt.NodeID) float64 {
 	return c.radios[a].pos.Distance(c.radios[b].pos)
 }
 
-// Reachable reports whether b is currently within transmission range of a.
-// It is the omniscient link oracle routing layers use to classify a MAC
-// give-up as a genuine route break (the hop moved away) or a false one
+// Reachable reports whether b is currently within transmission range of a
+// over a non-severed link. It is the omniscient link oracle routing layers
+// use to classify a MAC give-up as a genuine route break (the hop moved
+// away, crashed, or sits behind a blackout or partition) or a false one
 // (contention on a healthy link).
 func (c *Channel) Reachable(a, b pkt.NodeID) bool {
+	if !c.faults.Quiet() && c.faults.Severed(a, b) {
+		return false
+	}
 	return c.Distance(a, b) <= TxRange
 }
 
@@ -424,6 +444,12 @@ func signalEndFn(a any) {
 func txDoneFn(a any) {
 	r := a.(*Radio)
 	r.txUntil = 0
+	// A node that crashed mid-transmission finishes the frame on the air
+	// (frame-granularity crash boundary) but its MAC is deactivated, so
+	// the completion indication is dropped.
+	if r.ch.faults.NodeDown(r.id) {
+		return
+	}
 	r.handler.TxDone()
 }
 
@@ -465,6 +491,7 @@ type Radio struct {
 	FramesDelivered uint64
 	Collisions      uint64 // receptions corrupted at this node
 	FramesImpaired  uint64 // outgoing frame copies killed by the link model
+	FramesFaulted   uint64 // outgoing frame copies killed by the fault plane
 }
 
 // linkState returns the impairment stream of the directed link from this
@@ -505,6 +532,7 @@ func (r *Radio) reset(pos geo.Point) {
 	r.FramesDelivered = 0
 	r.Collisions = 0
 	r.FramesImpaired = 0
+	r.FramesFaulted = 0
 	// Keep the link-state allocations; invalidate so the next run's seed
 	// re-seeds each stream on first use.
 	for _, st := range r.links {
@@ -564,6 +592,7 @@ func (r *Radio) Transmit(frame any, airtime time.Duration) {
 		tx.owner = r
 		tx.remaining = int32(len(neighbors))
 		impaired := r.ch.impair != nil || r.ch.maxJitter > 0
+		faulted := !r.ch.faults.Quiet()
 		for i := range neighbors {
 			nb := &neighbors[i]
 			start := now + nb.propDelay
@@ -573,6 +602,14 @@ func (r *Radio) Transmit(frame any, airtime time.Duration) {
 			s.to = nb.radio
 			s.decodable = nb.decodable
 			s.power = nb.power
+			// A severed link (crashed endpoint, blackout, partition) kills
+			// the copy before any impairment draw: the frame still radiates
+			// as noise, but the link model never sees it, so fault and loss
+			// streams compose without cross-talk.
+			if faulted && s.decodable && r.ch.faults.Severed(r.id, nb.radio.id) {
+				s.decodable = false
+				r.FramesFaulted++
+			}
 			if impaired {
 				// Per-link draws in neighbor (id) order: one corruption
 				// draw per decodable copy, one jitter draw per copy. A
@@ -614,6 +651,11 @@ func (r *Radio) frameDone(frame any) {
 func (r *Radio) signalStart(s *signal) {
 	wasIdle := r.airCount == 0
 	r.airCount++
+	// A crashed node keeps the air bookkeeping consistent (its signal-end
+	// events still retire) but neither decodes nor indicates to its MAC.
+	if r.ch.faults.NodeDown(r.id) {
+		return
+	}
 	switch {
 	case r.Transmitting():
 		// Half duplex: nothing receivable during own transmission.
@@ -643,6 +685,15 @@ func (r *Radio) signalStart(s *signal) {
 // MAC applies EIFS.
 func (r *Radio) signalEnd(s *signal) {
 	r.airCount--
+	if r.ch.faults.NodeDown(r.id) {
+		// Crashed receiver: retire the signal silently, abandoning any
+		// decode that was in progress when the node went down.
+		if r.decoding == s {
+			r.decoding = nil
+			r.corrupted = false
+		}
+		return
+	}
 	switch {
 	case r.decoding == s:
 		r.decoding = nil

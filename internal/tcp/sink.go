@@ -146,6 +146,16 @@ func (s *Sink) Reset(flow int, src, dst pkt.NodeID, policy AckPolicy, out Output
 	s.Delay = nil
 }
 
+// Halt suspends a sink whose host node crashed: the ACK-regeneration
+// timer stops and the delayed-ACK aggregation state is dropped.
+// Reassembly state (rcvNext, the out-of-order buffer) survives the
+// outage, so a restarted node resumes the stream where it left off —
+// the next data arrival re-triggers ACK generation, no Resume needed.
+func (s *Sink) Halt() {
+	s.regenTimer.Stop()
+	s.pending = 0
+}
+
 // Stats snapshots receiver counters.
 func (s *Sink) Stats() SinkStats { return s.statsCurrent }
 

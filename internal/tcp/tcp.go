@@ -289,6 +289,10 @@ type Engine struct {
 	paceGap   func() time.Duration
 	paceTimer *sim.Timer
 
+	// halted marks a sender whose host node crashed (fault injection):
+	// timers are stopped and every entry point is inert until Resume.
+	halted bool
+
 	stats   Stats
 	winHist stats.TimeWeighted
 }
@@ -363,6 +367,7 @@ func (e *Engine) Reset(cfg Config, flow int, src, dst pkt.NodeID, out Output, cc
 	if e.paceTimer != nil {
 		e.paceTimer.Stop()
 	}
+	e.halted = false
 	e.stats = Stats{}
 	e.winHist = stats.TimeWeighted{}
 	cc.Init(e)
@@ -426,10 +431,52 @@ func (e *Engine) EnablePacing(gap func() time.Duration) {
 	}
 }
 
-// Start begins the transfer.
+// Start begins the transfer. On a halted engine (host crashed before the
+// flow's start time) it is a no-op; Resume starts the transfer instead.
 func (e *Engine) Start() {
+	if e.halted {
+		return
+	}
 	e.SetWindow(float64(e.cfg.Winit))
 	e.cc.OnStart()
+	e.sendUpTo()
+}
+
+// Halt suspends a sender whose host node crashed: the retransmission and
+// pacing timers stop and every entry point goes inert until Resume.
+// Connection state — sequence accounting, stats, the window trace — is
+// preserved, so the run's cumulative batch deltas stay consistent across
+// the outage.
+func (e *Engine) Halt() {
+	e.halted = true
+	e.rtxTimer.Stop()
+	if e.paceTimer != nil {
+		e.paceTimer.Stop()
+	}
+}
+
+// Resume restarts a halted sender after its host came back up. The
+// congestion state restarts cold — the strategy re-initializes as if the
+// connection just opened (slow start from Winit, initial RTO, no RTT
+// history) — while the connection's sequence state survives, so
+// transmission resumes from the first unacknowledged packet.
+func (e *Engine) Resume() {
+	if !e.halted {
+		return
+	}
+	e.halted = false
+	e.srtt, e.rttvar = 0, 0
+	e.hasRTT = false
+	e.rto = e.cfg.InitialRTO
+	e.backoff = 1
+	e.afterAck = nil
+	e.cc.Init(e)
+	if f, ok := e.cc.(ackFinisher); ok {
+		e.afterAck = f.AfterAck
+	}
+	e.SetWindow(float64(e.cfg.Winit))
+	e.cc.OnStart()
+	e.GoBackN()
 	e.sendUpTo()
 }
 
@@ -437,7 +484,7 @@ func (e *Engine) Start() {
 // it (advance, duplicate, or stale) and delegates the reaction to the
 // strategy, then refills the window.
 func (e *Engine) HandleAck(p *pkt.Packet) {
-	if p.TCP == nil {
+	if p.TCP == nil || e.halted {
 		return
 	}
 	e.stats.AcksSeen++

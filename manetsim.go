@@ -283,6 +283,64 @@ func RegisterLinkModel(name string, factory LinkModelFactory) {
 	core.RegisterLinkModel(name, factory)
 }
 
+// FaultSpec configures one injected fault of a run: a scheduled,
+// deterministic disturbance selected by registry Name — "crash" (alias
+// "nodecrash"), "blackout" (alias "linkblackout"), "partition" (alias
+// "split"), or anything added with RegisterFault — with its injection
+// time At and Duration (0 = permanent). Build common specs with
+// CrashFault, BlackoutFault and PartitionFault; apply them with
+// WithFaults, a Config.Faults list, or a Sweep's Faults axis. Faulted
+// runs report resilience metrics in Result.Faults.
+type FaultSpec = core.FaultSpec
+
+// CrashFault returns the spec of a node crash at time at: the node's
+// radio, MAC, router and transport endpoints go down and restart cold
+// after downtime (0 = the node never comes back).
+func CrashFault(node int, at, downtime time.Duration) FaultSpec {
+	return core.CrashFault(node, at, downtime)
+}
+
+// BlackoutFault returns the spec of a bidirectional link blackout
+// between from and to over [at, at+duration).
+func BlackoutFault(from, to int, at, duration time.Duration) FaultSpec {
+	return core.BlackoutFault(from, to, at, duration)
+}
+
+// PartitionFault returns the spec of an axis-cut network partition:
+// nodes with X < cut are severed from the rest over [at, at+duration).
+func PartitionFault(cut float64, at, duration time.Duration) FaultSpec {
+	return core.PartitionFault(cut, at, duration)
+}
+
+// FaultInfo describes one registered fault injector (see Faults).
+type FaultInfo = core.FaultInfo
+
+// Faults lists every registered fault injector — built-in and registered
+// — sorted by name.
+func Faults() []FaultInfo { return core.Faults() }
+
+// FaultFactory builds the fault injector for a run from its spec; it
+// returns an error for unusable parameters.
+type FaultFactory = core.FaultFactory
+
+// RegisterFault adds a fault injector under name, making it selectable
+// everywhere a FaultSpec goes: Run options, Campaign sweeps, and
+// cmd/manetsim -fault. It panics on an empty or duplicate name; register
+// from init or main before any runs start.
+func RegisterFault(name string, factory FaultFactory) {
+	core.RegisterFault(name, factory)
+}
+
+// FaultReport carries the resilience metrics of a faulted run (see
+// Result.Faults): per-outage recovery times, the goodput split between
+// outage and healthy time, frames cut by the fault plane, and the route
+// repairs the faults triggered.
+type FaultReport = core.FaultReport
+
+// OutageReport measures one injected fault's outage window and the
+// network's recovery from it.
+type OutageReport = core.OutageReport
+
 // Config is the full description of one run: the scenario plus run-level
 // knobs. Run assembles one from its options; campaign sweeps and advanced
 // callers may build Configs directly and execute them with RunConfig or

@@ -62,6 +62,15 @@ func WithLinkModel(l LinkModelSpec) Option {
 	return func(c *Config) { c.LinkModel = l }
 }
 
+// WithFaults schedules fault injections for the run: node crashes, link
+// blackouts and partitions (or any registered injector), each firing at
+// its configured time. Faulted runs stay deterministic per seed — the
+// fault transitions draw no randomness — and report resilience metrics
+// in Result.Faults. An empty list keeps the run fault-free.
+func WithFaults(faults ...FaultSpec) Option {
+	return func(c *Config) { c.Faults = append(c.Faults, faults...) }
+}
+
 // WithRTSThreshold sets the MAC's dot11RTSThreshold in bytes: unicast
 // frames no larger than bytes skip the RTS/CTS handshake and go out as
 // basic-access DATA. 0 (the default) keeps the handshake on every frame,

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 )
 
 // Server exposes a Campaign as a long-running simulation service over
@@ -40,9 +41,17 @@ type Server struct {
 	campaign *Campaign
 	mux      *http.ServeMux
 
-	mu   sync.Mutex
-	jobs map[string]*sweepJob
-	seq  int
+	// ctx is the server's lifetime: sweep goroutines run under it, and
+	// Shutdown cancels it to abort whatever a graceful drain could not
+	// finish. wg counts those goroutines.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*sweepJob
+	seq      int
+	draining bool
 }
 
 // NewServer returns a service over the given campaign. The campaign's
@@ -51,6 +60,7 @@ type Server struct {
 // results durable.
 func NewServer(c *Campaign) *Server {
 	s := &Server{campaign: c, jobs: make(map[string]*sweepJob)}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /api/v1/transports", s.handleTransports)
@@ -66,6 +76,35 @@ func NewServer(c *Campaign) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the server: new sweep submissions are refused (503)
+// immediately, and in-flight sweeps get until ctx's deadline to finish.
+// If the deadline passes first, the remaining sweeps are aborted — with
+// a store attached every run completed so far is already persisted, so
+// an aborted sweep resumes from its last completed run on restart — and
+// ctx's error is returned. A nil error means every in-flight sweep
+// drained completely. Shutdown is idempotent; call it before (or as the
+// RegisterOnShutdown hook of) http.Server.Shutdown so event streams
+// reach their terminal event and close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done // aborted sweeps unwind promptly once the context dies
+		return ctx.Err()
+	}
 }
 
 // Job states.
@@ -135,10 +174,12 @@ func (j *sweepJob) subscribe() ([]serverEvent, chan serverEvent, func()) {
 }
 
 // run executes the sweep on the shared campaign, recording progress and
-// the terminal outcome. It runs on its own goroutine with no request
-// context: a submitted sweep outlives its submitting connection.
+// the terminal outcome. It runs on its own goroutine under the server's
+// lifetime context (not the request's): a submitted sweep outlives its
+// submitting connection but not a shutdown deadline.
 func (s *Server) run(j *sweepJob, sw Sweep) {
-	cells, err := s.campaign.SweepProgress(context.Background(), sw, func(ev SweepEvent) {
+	defer s.wg.Done()
+	cells, err := s.campaign.SweepProgress(s.ctx, sw, func(ev SweepEvent) {
 		j.mu.Lock()
 		j.done = ev.Done
 		j.mu.Unlock()
@@ -209,6 +250,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sw); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("sweep document exceeds the %d-byte limit", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding sweep: %w", err))
 		return
 	}
@@ -217,6 +264,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
+		return
+	}
 	s.seq++
 	j := &sweepJob{
 		id:    fmt.Sprintf("sweep-%d", s.seq),
@@ -225,6 +277,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		subs:  make(map[chan serverEvent]struct{}),
 	}
 	s.jobs[j.id] = j
+	s.wg.Add(1)
 	s.mu.Unlock()
 	go s.run(j, sw)
 	writeJSON(w, http.StatusAccepted, j.status())
@@ -306,6 +359,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	replay, ch, unsubscribe := j.subscribe()
 	defer unsubscribe()
+	// Event streams stay open for a whole sweep, so the per-connection
+	// write deadline a hardened http.Server sets (WriteTimeout) must not
+	// apply; the stream ends at its terminal event or client disconnect.
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")
@@ -333,6 +390,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			// Forced shutdown: the sweep's error event may never come,
+			// so close the stream instead of holding the connection.
 			return
 		}
 	}

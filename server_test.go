@@ -3,6 +3,7 @@ package manetsim_test
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -379,6 +380,143 @@ func TestServeSharesStoreAcrossRestart(t *testing.T) {
 		}
 		if _, ok := manetsim.FindCell(got.Cells, cell.Key); !ok {
 			t.Errorf("cell key %s not addressable via FindCell", cell.Key.Hash())
+		}
+	}
+}
+
+// TestServeOversizedSubmitIs413: a sweep document past the body limit is
+// refused with 413, not a generic 400.
+func TestServeOversizedSubmitIs413(t *testing.T) {
+	ts := httptest.NewServer(manetsim.NewServer(manetsim.NewCampaign(manetsim.BenchScale)))
+	defer ts.Close()
+	// A structurally valid sweep whose seed list alone crosses 16 MiB.
+	var body bytes.Buffer
+	body.WriteString(`{"Seeds":[9`)
+	body.Write(bytes.Repeat([]byte(",9"), 9<<20))
+	body.WriteString(`]}`)
+	resp, err := http.Post(ts.URL+"/api/v1/sweeps", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit = %d, want 413", resp.StatusCode)
+	}
+	var msg struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&msg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg.Error, "limit") {
+		t.Errorf("413 error %q does not name the limit", msg.Error)
+	}
+}
+
+// TestServerShutdownDrainsSweeps: a graceful Shutdown waits for in-flight
+// sweeps, returns nil, and refuses later submissions with 503.
+func TestServerShutdownDrainsSweeps(t *testing.T) {
+	campaign := manetsim.NewCampaign(manetsim.BenchScale, manetsim.WithWorkers(2))
+	server := manetsim.NewServer(campaign)
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+	id := postSweep(t, ts, serveSweep())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+
+	// The in-flight sweep ran to completion...
+	var st struct {
+		State string `json:"state"`
+	}
+	getJSON(t, ts, "/api/v1/sweeps/"+id, http.StatusOK, &st)
+	if st.State != "done" {
+		t.Fatalf("drained job state %q, want done", st.State)
+	}
+	// ...and the server no longer accepts work.
+	body, _ := json.Marshal(serveSweep())
+	resp, err := http.Post(ts.URL+"/api/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after shutdown = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServeForcedShutdownLosesNoCompletedRuns is the kill-and-restart
+// guarantee: aborting a store-backed server mid-sweep keeps every run
+// that completed before the kill, and a restarted server re-runs only
+// the remainder.
+func TestServeForcedShutdownLosesNoCompletedRuns(t *testing.T) {
+	dir := t.TempDir()
+	sw := manetsim.Sweep{
+		Scenarios:  []*manetsim.Scenario{manetsim.Chain(2), manetsim.Chain(3)},
+		Transports: []manetsim.TransportSpec{{Name: "vegas"}, {Name: "newreno"}},
+		Seeds:      []int64{1, 2, 3, 4, 5, 6, 7, 8},
+		// Per-run budget large enough that the kill below lands mid-sweep
+		// even on a fast machine.
+		Base: manetsim.Config{TotalPackets: 5500, BatchPackets: 500},
+	}
+	total := int64(sw.GridSize(manetsim.BenchScale))
+
+	first := manetsim.NewCampaign(manetsim.BenchScale, manetsim.WithWorkers(1), manetsim.WithStore(dir))
+	server := manetsim.NewServer(first)
+	ts := httptest.NewServer(server)
+	id := postSweep(t, ts, sw)
+
+	// Watch the stream until two runs completed, then kill the server
+	// with an already-expired drain deadline (forced abort).
+	resp, err := http.Get(ts.URL + "/api/v1/sweeps/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	seen := 0
+	for sc.Scan() && seen < 2 {
+		if strings.Contains(sc.Text(), `"type":"run"`) {
+			seen++
+		}
+	}
+	resp.Body.Close()
+	if seen < 2 {
+		t.Fatal("stream ended before two runs completed")
+	}
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := server.Shutdown(expired); err == nil {
+		t.Fatal("forced shutdown reported a clean drain")
+	}
+	ts.Close()
+	completed := first.Executed()
+	if completed < 2 || completed >= total {
+		t.Fatalf("first server completed %d of %d runs; the kill missed mid-sweep", completed, total)
+	}
+
+	// Restart over the same store: only the remainder executes, and the
+	// resumed sweep still completes every cell.
+	second := manetsim.NewCampaign(manetsim.BenchScale, manetsim.WithStore(dir))
+	ts2 := httptest.NewServer(manetsim.NewServer(second))
+	defer ts2.Close()
+	id2 := postSweep(t, ts2, sw)
+	waitForState(t, ts2, id2, "done", 2*time.Minute)
+	if got := second.Executed(); got > total-completed {
+		t.Fatalf("restart re-ran %d runs; %d completed runs were lost", got, got-(total-completed))
+	}
+	var got struct {
+		Cells []manetsim.Cell `json:"cells"`
+	}
+	getJSON(t, ts2, "/api/v1/sweeps/"+id2+"/results", http.StatusOK, &got)
+	if len(got.Cells) != 4 {
+		t.Fatalf("resumed sweep carried %d cells, want 4", len(got.Cells))
+	}
+	for _, cell := range got.Cells {
+		if len(cell.Runs) != len(sw.Seeds) || cell.Goodput.Mean <= 0 {
+			t.Fatalf("cell %s incomplete after resume", cell.Transport.Label())
 		}
 	}
 }
