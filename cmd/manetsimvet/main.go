@@ -1,0 +1,33 @@
+// Command manetsimvet runs manetsim's custom static-analysis suite: the
+// determinism, refcount, reset and hot-path invariants every golden digest
+// and bench gate in this repo ultimately rests on (see internal/analysis).
+//
+// It speaks the `go vet -vettool` protocol, so the canonical invocation is
+//
+//	go build -o manetsimvet ./cmd/manetsimvet
+//	go vet -vettool=$PWD/manetsimvet ./...
+//
+// and it also self-drives as a plain checker over package patterns:
+//
+//	manetsimvet ./...
+//
+// Deliberate exceptions are annotated in source:
+//
+//	//manetsim:allow <analyzer>  suppresses one finding on that line
+//	//manetsim:resetsafe         a field Reset intentionally preserves
+//	//manetsim:hotpath           marks a function as an alloc-free hot path
+package main
+
+import (
+	"os"
+
+	"manetsim/internal/analysis"
+)
+
+// version participates in cmd/go's action-cache key: bump it when analyzer
+// behavior changes so cached vet verdicts from older binaries are dropped.
+const version = "1.0.0"
+
+func main() {
+	os.Exit(analysis.VetMain(version, os.Args[1:], os.Stdout, os.Stderr))
+}

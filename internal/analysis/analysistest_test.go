@@ -1,0 +1,151 @@
+package analysis
+
+// This file is the suite's analysistest-style harness: each testdata package
+// under testdata/src/<path> is parsed and type-checked with the real Loader
+// (stdlib imports resolve through `go list -export` export data, testdata-local
+// stubs through Loader.AddExtra), one analyzer runs over it, and the reported
+// diagnostics are matched against `// want "regexp"` comments in the sources —
+// every diagnostic must be wanted, every want must fire.
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stdPackages lists (and compiles, via -export) the standard-library packages
+// the testdata imports, once per test process.
+var (
+	stdOnce sync.Once
+	stdPkgs []*ListedPackage
+	stdErr  error
+)
+
+func stdPackages(t *testing.T) []*ListedPackage {
+	t.Helper()
+	stdOnce.Do(func() {
+		stdPkgs, stdErr = GoList(".", "fmt", "time", "math/rand", "math/rand/v2", "sort", "strings")
+	})
+	if stdErr != nil {
+		t.Fatalf("listing stdlib export data: %v", stdErr)
+	}
+	return stdPkgs
+}
+
+// runAnalysisTest type-checks testdata/src/<pkgPath> (after source-checking
+// any testdata-local deps, e.g. "simstub/sim"), runs the single analyzer with
+// the given SimPackage classification, and compares diagnostics to wants.
+func runAnalysisTest(t *testing.T, a *Analyzer, simPkg bool, pkgPath string, deps ...string) {
+	t.Helper()
+	loader := NewLoaderFromList(stdPackages(t))
+	for _, dep := range deps {
+		dir := filepath.Join("testdata", "src", dep)
+		_, pkg, _, err := loader.Check(dep, dir, goFilesIn(t, dir))
+		if err != nil {
+			t.Fatalf("type-checking testdata dep %s: %v", dep, err)
+		}
+		loader.AddExtra(pkg)
+	}
+	dir := filepath.Join("testdata", "src", pkgPath)
+	files, pkg, info, err := loader.Check(pkgPath, dir, goFilesIn(t, dir))
+	if err != nil {
+		t.Fatalf("type-checking testdata package %s: %v", pkgPath, err)
+	}
+	diags, err := RunSuite([]*Analyzer{a}, loader.Fset, files, pkg, info, simPkg)
+	if err != nil {
+		t.Fatalf("running %s over %s: %v", a.Name, pkgPath, err)
+	}
+	wants := parseWants(t, loader.Fset, files)
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func goFilesIn(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading testdata dir %s: %v", dir, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("no Go files in testdata dir %s", dir)
+	}
+	return files
+}
+
+// A want is one expected diagnostic: a `// want "regexp"` comment expects a
+// diagnostic on its own line whose "analyzer: message" string matches.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+					}
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					rest = rest[len(q):]
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claimWant marks the first unclaimed want on the diagnostic's line whose
+// regexp matches, reporting whether one was found.
+func claimWant(wants []*want, d Diagnostic) bool {
+	text := d.Analyzer + ": " + d.Message
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(text) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand entry points that build a new
+// generator or source rather than drawing from the shared global one.
+// They are allowed — provided the seed is threaded in from outside (a
+// Config seed, a derived per-link stream), not a constant baked into
+// result-affecting code and not the wall clock.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 spellings.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// GlobalRand reports uses of the shared global math/rand generator and of
+// locally-constructed generators whose seeds cannot be reproduced from a
+// run's Config: package-level rand state, calls to top-level draw functions
+// (rand.Intn, rand.Float64, ...), constant seeds, and wall-clock seeds.
+// Test files are exempt — a fixed-seed rand.New in a test is fine.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid global math/rand state and non-threaded seeds in simulation packages; " +
+		"randomness must derive from Config seeds or per-link streams",
+	Run: runGlobalRand,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runGlobalRand(pass *Pass) error {
+	if !pass.SimPackage {
+		return nil
+	}
+	for _, file := range pass.NonTestFiles() {
+		// Package-level vars that hold generator state shared across runs:
+		// under a parallel Campaign two workers would interleave draws and
+		// destroy per-run reproducibility.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					ast.Inspect(v, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if f := funcObj(pass.TypesInfo, call); f != nil && isRandPkg(pkgPathOf(f)) {
+							pass.Reportf(vs.Pos(), "package-level math/rand state: a shared generator breaks per-run determinism; thread a *rand.Rand from the Config seed instead")
+							return false
+						}
+						return true
+					})
+				}
+			}
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := funcObj(pass.TypesInfo, call)
+			if f == nil || !isRandPkg(pkgPathOf(f)) || f.Signature().Recv() != nil {
+				return true
+			}
+			switch {
+			case !randConstructors[f.Name()]:
+				// Top-level draw (rand.Intn, rand.Shuffle, rand.Seed, ...):
+				// always the shared global generator.
+				pass.Reportf(call.Pos(), "call to global rand.%s: draws from the process-wide generator are not reproducible from a run's seed; use the scheduler's or a threaded *rand.Rand", f.Name())
+			case f.Name() == "NewSource" || f.Name() == "NewPCG":
+				// Seed-taking constructors: the seed must come from a
+				// variable threaded in, not a literal or the wall clock.
+				for _, arg := range call.Args {
+					if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+						pass.Reportf(call.Pos(), "rand.%s seeded with constant %s in result-affecting code: seeds must be threaded from Config (or derived per-link streams)", f.Name(), tv.Value)
+						break
+					}
+					if callsWallClock(pass.TypesInfo, arg) {
+						pass.Reportf(call.Pos(), "rand.%s seeded from the wall clock: nondeterministic; thread the Config seed instead", f.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callsWallClock reports whether expr contains a call to a wall-clock
+// function from package time (time.Now().UnixNano() seeds and the like).
+func callsWallClock(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := funcObj(info, call); f != nil && pkgPathOf(f) == "time" &&
+			f.Signature().Recv() == nil && wallClockFuncs[f.Name()] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// allocatingFmt are the fmt functions that build a string (or error) on
+// every call; each one allocates even when the result is discarded.
+var allocatingFmt = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+// HotPathAlloc enforces the 0-alloc steady-state contract in two places:
+//
+//  1. Functions marked //manetsim:hotpath may not contain closure
+//     literals, allocating fmt calls (Sprintf and friends) or method-value
+//     captures — each compiles to a per-call heap allocation.
+//  2. Closures must not be passed to scheduler APIs that have closure-free
+//     counterparts: Scheduler.At/After take a func() that captures its
+//     environment, while AtFunc/AfterFunc take a plain function plus one
+//     argument and allocate nothing. One-time setup code that would need a
+//     multi-field capture struct anyway can annotate the call with
+//     //manetsim:allow hotpathalloc.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbid closures, fmt.Sprintf and method values in //manetsim:hotpath functions " +
+		"and closure arguments to Scheduler.At/After (use AtFunc/AfterFunc)",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pass.HotPath(fn) {
+				checkHotFunc(pass, fn)
+			}
+			checkSchedulerClosures(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// Selector expressions that are the operand of a call are ordinary
+	// method calls, not method values; fmt calls that feed panic directly
+	// only execute on the (fatal) violation path and cost nothing in
+	// steady state.
+	called := map[ast.Expr]bool{}
+	panicArgs := map[ast.Expr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		called[ast.Unparen(call.Fun)] = true
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				for _, arg := range call.Args {
+					panicArgs[ast.Unparen(arg)] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if captures(info, v) {
+				pass.Reportf(v.Pos(), "capturing closure in hot-path function %s allocates per call; hoist it to a package-level func with an argument", fn.Name.Name)
+				return false
+			}
+			// Capture-free literals compile to a static func value.
+			return true
+		case *ast.CallExpr:
+			if f := funcObj(info, v); f != nil && pkgPathOf(f) == "fmt" && allocatingFmt[f.Name()] && !panicArgs[v] {
+				pass.Reportf(v.Pos(), "fmt.%s in hot-path function %s allocates; format off the hot path", f.Name(), fn.Name.Name)
+			}
+		case *ast.SelectorExpr:
+			if called[v] {
+				return true
+			}
+			if sel, ok := info.Selections[v]; ok && sel.Kind() == types.MethodVal {
+				pass.Reportf(v.Pos(), "method value %s.%s in hot-path function %s allocates a bound-method closure; use a package-level trampoline func", exprString(pass.Fset, v.X), v.Sel.Name, fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// captures reports whether a func literal references any variable declared
+// outside itself (including the enclosing receiver). Capture-free literals
+// do not allocate: the compiler emits a static closure value.
+func captures(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level vars are not captures; neither is anything
+		// declared inside the literal itself.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkSchedulerClosures flags func literals handed to Scheduler.At/After
+// anywhere in simulation code, not just marked functions: the closure-free
+// AtFunc/AfterFunc counterparts exist precisely so scheduling does not
+// allocate.
+func checkSchedulerClosures(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := funcObj(info, call)
+		if f == nil || f.Signature().Recv() == nil || !isSchedulerPkg(pkgPathOf(f)) {
+			return true
+		}
+		if f.Name() != "At" && f.Name() != "After" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if _, isLit := ast.Unparen(arg).(*ast.FuncLit); isLit {
+				pass.Reportf(call.Pos(), "closure passed to Scheduler.%s allocates on every schedule; use %sFunc with a package-level trampoline", f.Name(), f.Name())
+				break
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// ListedPackage is the subset of `go list -json` output the loader needs.
+type ListedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+}
+
+// GoList runs `go list -export -deps -json` for the patterns and returns
+// every listed package. dir anchors the module context. Compilation of the
+// listed packages happens as a side effect (that is what -export is for),
+// so a package that does not build surfaces here as an error.
+func GoList(dir string, patterns ...string) ([]*ListedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,ImportMap,Standard,DepOnly,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(ListedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// A Loader type-checks packages against pre-built export data, the same way
+// the compiler sees them: direct and transitive imports resolve through an
+// import-path -> export-file map instead of re-type-checking the world from
+// source. Extra registers source-checked packages (the analysistest harness
+// uses it for testdata-local stub dependencies).
+type Loader struct {
+	Fset      *token.FileSet
+	exports   map[string]string // resolved import path -> export data file
+	importMap map[string]string // source import path -> resolved path
+	extra     map[string]*types.Package
+	imp       types.Importer
+}
+
+// NewLoader builds a loader over the given export-data and import maps.
+func NewLoader(exports, importMap map[string]string) *Loader {
+	l := &Loader{
+		Fset:      token.NewFileSet(),
+		exports:   exports,
+		importMap: importMap,
+		extra:     map[string]*types.Package{},
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l
+}
+
+// NewLoaderFromList builds a loader from `go list` output.
+func NewLoaderFromList(pkgs []*ListedPackage) *Loader {
+	exports := map[string]string{}
+	importMap := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+	}
+	return NewLoader(exports, importMap)
+}
+
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	if resolved, ok := l.importMap[path]; ok {
+		path = resolved
+	}
+	file, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for package %q", path)
+	}
+	return os.Open(file)
+}
+
+// AddExtra registers an already-type-checked package so later checks can
+// import it by path without export data.
+func (l *Loader) AddExtra(pkg *types.Package) { l.extra[pkg.Path()] = pkg }
+
+// Import implements types.Importer, preferring source-checked extras.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if resolved, ok := l.importMap[path]; ok {
+		path = resolved
+	}
+	if pkg, ok := l.extra[path]; ok {
+		return pkg, nil
+	}
+	return l.imp.Import(path)
+}
+
+// Check parses and type-checks one package from its source files.
+func (l *Loader) Check(importPath string, dir string, goFiles []string) ([]*ast.File, *types.Package, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return files, pkg, info, nil
+}
+
+// AnalyzeDir is the standalone driver: it loads the packages matching
+// patterns (module packages only — dependencies are type-checked from
+// export data, not analyzed) and runs the full suite over each, returning
+// diagnostics sorted per package.
+func AnalyzeDir(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := GoList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	loader := NewLoaderFromList(pkgs)
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || p.Module == nil || len(p.GoFiles) == 0 {
+			continue
+		}
+		files, pkg, info, err := loader.Check(p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := RunSuite(analyzers, loader.Fset, files, pkg, info, IsSimPackage(p.ImportPath))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}

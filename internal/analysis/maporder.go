@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder reports `range` statements over maps whose loop body is
+// order-sensitive: it appends to data declared outside the loop (the
+// classic Result-reachable accumulation), schedules simulator events, or
+// serializes (fmt/json/hash writes). Go randomizes map iteration order per
+// run, so any of those turns a fixed seed into a flaky golden digest.
+//
+// The fix is to collect and sort the keys first (iterating the sorted slice
+// never trips the check). Iterations that are genuinely commutative —
+// deletes, counter sums — are not flagged; a reviewed exception can be
+// annotated //manetsim:allow maporder.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid order-sensitive iteration over maps (appends, event scheduling, serialization) " +
+		"in simulation packages; sort keys first",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !pass.SimPackage {
+		return nil
+	}
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if reason := orderSensitive(pass, fn, rng); reason != "" {
+					pass.Reportf(rng.Pos(), "iteration over map %s %s: map order is randomized per run; iterate sorted keys instead", exprString(pass.Fset, rng.X), reason)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// orderSensitive classifies the loop body; a non-empty return describes why
+// iteration order can leak into results. fn is the enclosing function: an
+// append target that is sorted later in the same function is the
+// collect-then-sort idiom and stays allowed.
+func orderSensitive(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) string {
+	info := pass.TypesInfo
+	reason := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append whose destination outlives the loop.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+				if root := rootIdent(call.Args[0]); root != nil {
+					if obj := info.ObjectOf(root); obj != nil && declaredOutside(obj, rng) && !sortedAfter(pass, fn, rng, obj) {
+						reason = "appends to " + root.Name + " declared outside the loop"
+						return false
+					}
+				}
+			}
+		}
+		f := funcObj(info, call)
+		if f == nil {
+			return true
+		}
+		// Scheduling inside a map loop: event (time, seq) order becomes
+		// map-order dependent, which reorders dispatch between runs.
+		if sig := f.Signature(); sig.Recv() != nil && isSchedulerPkg(pkgPathOf(f)) {
+			switch f.Name() {
+			case "At", "AtFunc", "After", "AfterFunc":
+				reason = "schedules events (Scheduler." + f.Name() + ")"
+				return false
+			}
+		}
+		// Serialization: bytes written in map order feed goldens/digests.
+		switch pkgPathOf(f) {
+		case "fmt":
+			switch f.Name() {
+			case "Fprintf", "Fprint", "Fprintln", "Sprintf", "Sprint", "Sprintln", "Appendf":
+				reason = "serializes via fmt." + f.Name()
+				return false
+			}
+		case "encoding/json":
+			reason = "serializes via json." + f.Name()
+			return false
+		}
+		if f.Signature().Recv() != nil {
+			switch f.Name() {
+			case "Write", "WriteString", "WriteByte", "Sum", "Encode":
+				reason = "writes to " + exprString(pass.Fset, call.Fun)
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// rootIdent peels selectors/indexing down to the base identifier of an
+// expression: dsts, s.buf[i] -> s, (x) -> x.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj was declared outside the range
+// statement, i.e. it survives the loop.
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether obj is handed to a sort function after the
+// range loop in the same enclosing function — the collect-then-sort idiom
+// that makes accumulation order irrelevant.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		f := funcObj(info, call)
+		if f == nil {
+			return true
+		}
+		switch pkgPathOf(f) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if !strings.HasPrefix(f.Name(), "Sort") && f.Name() != "Slice" && f.Name() != "SliceStable" &&
+			f.Name() != "Ints" && f.Name() != "Strings" && f.Name() != "Float64s" && f.Name() != "Stable" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil && info.ObjectOf(root) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	// Compact one-line rendering for diagnostics; falls back to the
+	// position when the expression is exotic.
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(fset, v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(fset, v.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(fset, v.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + exprString(fset, v.X)
+	default:
+		return "expression"
+	}
+}

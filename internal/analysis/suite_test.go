@@ -1,0 +1,73 @@
+package analysis
+
+import "testing"
+
+// Each analyzer runs over a testdata package containing a failing case, its
+// fixed counterpart, and directive-suppressed exceptions; the *NonSim tests
+// run the sim-gated analyzers over testdata/src/plain — a package full of
+// violations that must all pass because it is outside the simulation core.
+
+func TestWallClock(t *testing.T) {
+	runAnalysisTest(t, WallClock, true, "wallclock")
+}
+
+func TestWallClockNonSimPackage(t *testing.T) {
+	runAnalysisTest(t, WallClock, false, "plain")
+}
+
+func TestGlobalRand(t *testing.T) {
+	runAnalysisTest(t, GlobalRand, true, "globalrand")
+}
+
+func TestGlobalRandNonSimPackage(t *testing.T) {
+	runAnalysisTest(t, GlobalRand, false, "plain")
+}
+
+func TestMapOrder(t *testing.T) {
+	runAnalysisTest(t, MapOrder, true, "maporder", "simstub/sim")
+}
+
+func TestMapOrderNonSimPackage(t *testing.T) {
+	runAnalysisTest(t, MapOrder, false, "plain")
+}
+
+func TestResetComplete(t *testing.T) {
+	runAnalysisTest(t, ResetComplete, true, "resetcomplete")
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	runAnalysisTest(t, HotPathAlloc, true, "hotpath", "simstub/sim")
+}
+
+// TestSuiteRepoClean asserts the invariant CI enforces via go vet -vettool:
+// the full suite reports nothing across the repository (true positives are
+// fixed, deliberate exceptions are annotated).
+func TestSuiteRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short")
+	}
+	diags, err := AnalyzeDir("../..", Suite(), "./...")
+	if err != nil {
+		t.Fatalf("analyzing repo: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestIsSimPackage pins the package classification the gating rests on.
+func TestIsSimPackage(t *testing.T) {
+	for path, wantSim := range map[string]bool{
+		"manetsim/internal/sim":      true,
+		"manetsim/internal/phy":      true,
+		"manetsim/internal/stats":    true,
+		"manetsim/internal/analysis": false,
+		"manetsim/internal/store":    false,
+		"manetsim/cmd/manetsim":      false,
+		"fmt":                        false,
+	} {
+		if got := IsSimPackage(path); got != wantSim {
+			t.Errorf("IsSimPackage(%q) = %v, want %v", path, got, wantSim)
+		}
+	}
+}

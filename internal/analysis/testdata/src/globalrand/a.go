@@ -1,0 +1,46 @@
+// Package globalrand exercises the globalrand analyzer: shared global
+// generator state and non-threaded seeds are forbidden in simulation
+// packages; seeds threaded in from a Config are the sanctioned pattern.
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+var shared = rand.New(rand.NewSource(1)) // want `package-level math/rand state` `rand\.NewSource seeded with constant 1`
+
+func globalDraws(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want `call to global rand\.Shuffle`
+	return rand.Intn(n)                // want `call to global rand\.Intn`
+}
+
+func constSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand\.NewSource seeded with constant 42`
+}
+
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from the wall clock`
+}
+
+func v2ConstSeed() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(1, 2)) // want `rand\.NewPCG seeded with constant 1`
+}
+
+// threaded is the sanctioned pattern: the seed arrives from outside.
+func threaded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// derived checks the constant-argument rule stays scoped to seed-taking
+// constructors: NewZipf's float parameters are constants but not seeds.
+func derived(seed int64) *rand.Zipf {
+	r := rand.New(rand.NewSource(seed))
+	return rand.NewZipf(r, 1.1, 1.0, 100)
+}
+
+func allowed() *rand.Rand {
+	//manetsim:allow globalrand fixture generator, results not digest-bearing
+	return rand.New(rand.NewSource(99))
+}

@@ -1,0 +1,58 @@
+// Package hotpath exercises the hotpathalloc analyzer: functions marked
+// //manetsim:hotpath may not contain capturing closures, allocating fmt
+// calls, or method-value captures. Capture-free literals and fmt calls that
+// feed panic directly are exempt; unmarked functions are unconstrained.
+package hotpath
+
+import "fmt"
+
+//manetsim:hotpath
+func hotClosure(xs []int, y int) int {
+	f := func(x int) int { return x + y } // want `capturing closure in hot-path function hotClosure`
+	return f(xs[0])
+}
+
+// hotStatic's literal captures nothing: the compiler emits a static func
+// value, so no per-call allocation happens.
+//
+//manetsim:hotpath
+func hotStatic(xs []int) int {
+	f := func(x int) int { return x * 2 }
+	return f(xs[0])
+}
+
+//manetsim:hotpath
+func hotSprintf(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf in hot-path function hotSprintf`
+}
+
+// hotPanicGuard formats only on the fatal violation path — zero steady-state
+// cost, so panic arguments are exempt.
+//
+//manetsim:hotpath
+func hotPanicGuard(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative count %d", n))
+	}
+}
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+//manetsim:hotpath
+func hotMethodValue(c *counter) func() {
+	return c.bump // want `method value c\.bump in hot-path function hotMethodValue`
+}
+
+// hotMethodCall performs an ordinary method call — no bound-method closure.
+//
+//manetsim:hotpath
+func hotMethodCall(c *counter) {
+	c.bump()
+}
+
+// coldClosure is unmarked: closures are fine off the hot path.
+func coldClosure(y int) func(int) int {
+	return func(x int) int { return x + y }
+}

@@ -1,0 +1,26 @@
+package hotpath
+
+import "simstub/sim"
+
+func fire(_ any) {}
+
+// Closures handed to Scheduler.At/After allocate on every schedule; the
+// AtFunc/AfterFunc counterparts exist precisely to avoid that, so the check
+// applies everywhere, not just in marked functions.
+
+func scheduleClosureAfter(s *sim.Scheduler, d sim.Time, n int) {
+	s.After(d, func() { _ = n }) // want `closure passed to Scheduler\.After allocates`
+}
+
+func scheduleClosureAt(s *sim.Scheduler, t sim.Time, n int) {
+	s.At(t, func() { _ = n }) // want `closure passed to Scheduler\.At allocates`
+}
+
+func scheduleFunc(s *sim.Scheduler, d sim.Time) {
+	s.AfterFunc(d, fire, nil)
+}
+
+func scheduleAllowed(s *sim.Scheduler, d sim.Time, n int) {
+	//manetsim:allow hotpathalloc one-time setup; capture struct not worth it
+	s.After(d, func() { _ = n })
+}

@@ -1,0 +1,62 @@
+// Package maporder exercises the maporder analyzer: map iteration whose body
+// accumulates, serializes or schedules is order-sensitive and must iterate
+// sorted keys; commutative bodies and the collect-then-sort idiom pass.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendsUnsorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `iteration over map m appends to out`
+		out = append(out, v)
+	}
+	return out
+}
+
+// collectThenSort is the canonical fix: accumulation order is erased by the
+// sort, so the append inside the loop is fine.
+func collectThenSort(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// commutative bodies — sums, deletes — are order-insensitive.
+func commutative(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func serializes(m map[string]int, sb *strings.Builder) {
+	for k, v := range m { // want `serializes via fmt\.Fprintf`
+		fmt.Fprintf(sb, "%s=%d\n", k, v)
+	}
+}
+
+// localOnly appends to a buffer that does not outlive the iteration.
+func localOnly(m map[int][]byte) int {
+	n := 0
+	for _, v := range m {
+		buf := append([]byte(nil), v...)
+		n += len(buf)
+	}
+	return n
+}
+
+func allowed(m map[int]string, out []string) []string {
+	//manetsim:allow maporder reviewed: caller scrambles the order anyway
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

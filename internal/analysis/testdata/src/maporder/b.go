@@ -1,0 +1,30 @@
+package maporder
+
+import (
+	"sort"
+
+	"simstub/sim"
+)
+
+func tick(_ any) {}
+
+// scheduleAll schedules straight out of a map loop: event insertion order —
+// and therefore tie-breaking between same-time events — becomes map-order
+// dependent.
+func scheduleAll(s *sim.Scheduler, deadlines map[int]sim.Time) {
+	for _, t := range deadlines { // want `schedules events \(Scheduler\.AtFunc\)`
+		s.AtFunc(t, tick, nil)
+	}
+}
+
+// scheduleSorted is the fix: collect keys, sort, then schedule off the slice.
+func scheduleSorted(s *sim.Scheduler, deadlines map[int]sim.Time) {
+	ids := make([]int, 0, len(deadlines))
+	for id := range deadlines {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s.AtFunc(deadlines[id], tick, nil)
+	}
+}

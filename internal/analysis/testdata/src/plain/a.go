@@ -1,0 +1,23 @@
+// Package plain is the non-sim gating guard: it commits every determinism
+// sin at once, and the sim-gated analyzers (wallclock, globalrand, maporder)
+// must stay silent because the package is outside the simulation core —
+// cmd/ progress reporting and ad-hoc tooling randomness are legitimate.
+package plain
+
+import (
+	"math/rand"
+	"time"
+)
+
+var r = rand.New(rand.NewSource(42))
+
+func outside(m map[int]string) []string {
+	time.Sleep(time.Millisecond)
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	_ = rand.Intn(10)
+	_ = time.Now().UnixNano() + r.Int63()
+	return out
+}

@@ -1,0 +1,66 @@
+// Package resetcomplete exercises the resetcomplete analyzer: every field of
+// a struct with a Reset method must be re-initialized in Reset (directly,
+// via a helper, via a method on the field, or by whole-receiver overwrite)
+// or carry //manetsim:resetsafe.
+package resetcomplete
+
+// Arena is the failing case: seed was added after Reset was written.
+type Arena struct {
+	buf  []byte
+	n    int
+	seed uint64 // want `field seed of Arena is not reset`
+	free *Arena //manetsim:resetsafe freelist link survives reuse by design
+}
+
+func (a *Arena) Reset() {
+	a.buf = a.buf[:0]
+	a.n = 0
+}
+
+// Wipe resets by whole-receiver overwrite, which handles every field at once.
+type Wipe struct {
+	x, y int
+	m    map[int]int
+}
+
+func (w *Wipe) Reset() {
+	*w = Wipe{m: w.m}
+	clear(w.m)
+}
+
+// Helper reaches field b through a same-receiver helper method.
+type Helper struct {
+	a int
+	b int
+}
+
+func (h *Helper) Reset() {
+	h.a = 0
+	h.zeroB()
+}
+
+func (h *Helper) zeroB() { h.b = 0 }
+
+// Sub handles inner by calling a method on the field itself.
+type Sub struct {
+	inner Helper
+	count int
+}
+
+func (s *Sub) Reset() {
+	s.inner.Reset()
+	s.count = 0
+}
+
+// Embeds forgets its embedded struct.
+type Embeds struct {
+	Helper // want `embedded field Helper of Embeds is not reset`
+	used   bool
+}
+
+func (e *Embeds) Reset() { e.used = false }
+
+// NoReset has no Reset method and therefore no obligations.
+type NoReset struct {
+	anything int
+}

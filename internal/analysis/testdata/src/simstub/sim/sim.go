@@ -1,0 +1,34 @@
+// Package sim is a miniature stand-in for manetsim/internal/sim used by the
+// analyzer tests: isSchedulerPkg matches any import path ending in /sim, so
+// maporder and hotpathalloc treat this stub's Scheduler as the real kernel.
+package sim
+
+// Time mirrors the kernel's simulated-time type.
+type Time int64
+
+// EventRef identifies a scheduled event.
+type EventRef struct{ idx int }
+
+// Scheduler mirrors the kernel scheduling API surface the analyzers know:
+// At/After take closures, AtFunc/AfterFunc are the closure-free counterparts.
+type Scheduler struct{ now Time }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn at absolute time t.
+func (s *Scheduler) At(t Time, fn func()) EventRef { _, _ = t, fn; return EventRef{} }
+
+// AtFunc schedules fn(arg) at absolute time t without allocating.
+func (s *Scheduler) AtFunc(t Time, fn func(any), arg any) EventRef {
+	_, _, _ = t, fn, arg
+	return EventRef{}
+}
+
+// After schedules fn after delay d.
+func (s *Scheduler) After(d Time, fn func()) EventRef { return s.At(s.now+d, fn) }
+
+// AfterFunc schedules fn(arg) after delay d without allocating.
+func (s *Scheduler) AfterFunc(d Time, fn func(any), arg any) EventRef {
+	return s.AtFunc(s.now+d, fn, arg)
+}

@@ -1,0 +1,32 @@
+// Package wallclock exercises the wallclock analyzer: package-level time
+// functions are forbidden in simulation packages, methods on time values and
+// annotated exceptions are not.
+package wallclock
+
+import "time"
+
+const tick = 5 * time.Millisecond
+
+func bad() time.Time {
+	time.Sleep(tick)  // want `wallclock: call to time\.Sleep in simulation package wallclock`
+	return time.Now() // want `call to time\.Now`
+}
+
+func timer(fire func()) *time.Timer {
+	return time.AfterFunc(tick, fire) // want `call to time\.AfterFunc`
+}
+
+// methodsAllowed uses only methods on time values — pure arithmetic, no
+// wall-clock reads — plus Duration constants.
+func methodsAllowed(t time.Time, d time.Duration) bool {
+	return t.After(t.Add(d)) || d.Seconds() > 1
+}
+
+func allowedAbove() time.Time {
+	//manetsim:allow wallclock reviewed: cold diagnostic path only
+	return time.Now()
+}
+
+func allowedInline() time.Time {
+	return time.Now() //manetsim:allow wallclock
+}

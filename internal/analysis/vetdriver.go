@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration `go vet -vettool` hands the tool
+// for each package unit (the x/tools unitchecker protocol, reimplemented
+// here because the real module is not vendored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain implements the go vet -vettool protocol for the analyzer suite:
+//
+//	tool -V=full          print a version line for the build cache
+//	tool -flags           print the supported flags as JSON
+//	tool <unit>.cfg       analyze one package unit, diagnostics to stderr
+//
+// With package-pattern arguments instead (or no arguments, meaning ./...),
+// it self-drives via `go list` as a standalone checker. Returns the
+// process exit code.
+func VetMain(version string, args []string, stdout, stderr io.Writer) int {
+	var patterns []string
+	for _, arg := range args {
+		switch {
+		case strings.HasPrefix(arg, "-V"):
+			// cmd/go hashes this line into its action cache key; the
+			// second field must be the literal word "version".
+			fmt.Fprintf(stdout, "manetsimvet version %s\n", version)
+			return 0
+		case arg == "-flags":
+			// No analyzer flags: an empty JSON list tells cmd/go not to
+			// forward any user vet flags to this tool.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasSuffix(arg, ".cfg"):
+			return vetUnit(arg, stderr)
+		case strings.HasPrefix(arg, "-"):
+			fmt.Fprintf(stderr, "manetsimvet: unknown flag %s\n", arg)
+			return 2
+		default:
+			patterns = append(patterns, arg)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "manetsimvet: %v\n", err)
+		return 1
+	}
+	diags, err := AnalyzeDir(dir, Suite(), patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "manetsimvet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetUnit analyzes one vet.cfg package unit.
+func vetUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "manetsimvet: reading %s: %v\n", cfgPath, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "manetsimvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go expects a facts ("vetx") output file for every unit so later
+	// units can consume it; this suite keeps no cross-package facts, so an
+	// empty file satisfies the contract.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "manetsimvet: writing %s: %v\n", cfg.VetxOutput, err)
+			return 1
+		}
+	}
+	// Dependency-only units exist purely to propagate facts; nothing to do.
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	loader := NewLoader(cfg.PackageFile, cfg.ImportMap)
+	files, pkg, info, err := loader.Check(cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "manetsimvet: %v\n", err)
+		return 1
+	}
+	diags, err := RunSuite(Suite(), loader.Fset, files, pkg, info, IsSimPackage(cfg.ImportPath))
+	if err != nil {
+		fmt.Fprintf(stderr, "manetsimvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

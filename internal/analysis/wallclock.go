@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package-level time functions that read or wait on
+// the host's wall clock. Any of them inside a simulation package breaks
+// fixed-seed reproducibility: simulated time must come from the scheduler
+// (sim.Time flows from (*sim.Scheduler).Now), never from the machine.
+// Methods such as time.Time.After or time.Duration.Seconds are pure value
+// arithmetic and stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// WallClock reports calls to time.Now, time.Since, time.Sleep and friends
+// in simulation packages. cmd/ binaries and _test.go files may use the wall
+// clock freely (progress reporting, timeouts); the simulation core may not.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock reads (time.Now/Since/Sleep/...) in simulation packages; " +
+		"sim time must flow from the scheduler",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	if !pass.SimPackage {
+		return nil
+	}
+	for _, file := range pass.NonTestFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := funcObj(pass.TypesInfo, call)
+			if f == nil || pkgPathOf(f) != "time" {
+				return true
+			}
+			if f.Signature().Recv() != nil || !wallClockFuncs[f.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "call to time.%s in simulation package %s: wall-clock time is nondeterministic; derive time from the scheduler (sim.Time / Scheduler.Now)", f.Name(), pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil
+}

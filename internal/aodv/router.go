@@ -80,11 +80,11 @@ type discovery struct {
 // Router is the per-node AODV entity. It sits between the transport layer
 // (Send) and the MAC (HandlePacket / HandleLinkFailure callbacks).
 type Router struct {
-	sched *sim.Scheduler
-	id    pkt.NodeID
-	mac   *mac.DCF
+	sched *sim.Scheduler //manetsim:resetsafe scheduler binding lives as long as the router
+	id    pkt.NodeID     //manetsim:resetsafe node identity is fixed at construction
+	mac   *mac.DCF       //manetsim:resetsafe MAC wiring; the MAC resets itself
 	cfg   Config
-	uids  *pkt.UIDSource
+	uids  *pkt.UIDSource //manetsim:resetsafe pool binding; the pool resets itself
 
 	table   *Table
 	seqNo   uint32
@@ -94,7 +94,7 @@ type Router struct {
 	pending map[pkt.NodeID]*discovery
 	down    bool // crashed by fault injection (see Deactivate)
 
-	deliver func(p *pkt.Packet)
+	deliver func(p *pkt.Packet) //manetsim:resetsafe upward wiring to the node; rebound only on rebuild
 	// DropData, if set, observes every data packet the router drops
 	// (no-route, buffer overflow, discovery failure, link failure).
 	DropData func(p *pkt.Packet)
@@ -378,6 +378,9 @@ func (r *Router) handleRREQ(p *pkt.Packet, req *RREQ, from pkt.NodeID) {
 	np.Routing = fwd
 	r.Counters.RREQForwarded++
 	jitter := sim.Time(r.sched.Rand().Int63n(int64(r.cfg.MaxJitter) + 1))
+	// Route discovery is the cold path (once per RREQ forward, not per data
+	// frame) and the rebroadcast captures both the router and the packet.
+	//manetsim:allow hotpathalloc
 	r.sched.After(jitter, func() { r.mac.Enqueue(np, pkt.Broadcast) })
 }
 

@@ -13,10 +13,10 @@ import (
 // It isolates AODV's contribution to the paper's results — the
 // `BenchmarkAblationStaticRoutes` experiment — and is handy in unit tests.
 type StaticRouter struct {
-	id      pkt.NodeID
-	mac     *mac.DCF
-	next    []pkt.NodeID // next[d] = next hop toward node d (or -1)
-	deliver func(p *pkt.Packet)
+	id      pkt.NodeID          //manetsim:resetsafe node identity is fixed at construction
+	mac     *mac.DCF            //manetsim:resetsafe MAC wiring; the MAC resets itself
+	next    []pkt.NodeID        //manetsim:resetsafe precomputed routes; owner checks placement is unchanged before reuse
+	deliver func(p *pkt.Packet) //manetsim:resetsafe upward wiring to the node; rebound only on rebuild
 	// DropData observes data packets dropped for lack of a path or by
 	// link-layer failure (no retransmission happens at this layer).
 	DropData func(p *pkt.Packet)

@@ -1,6 +1,8 @@
 package aodv
 
 import (
+	"slices"
+
 	"manetsim/internal/pkt"
 	"manetsim/internal/sim"
 )
@@ -16,7 +18,7 @@ type Route struct {
 
 // Table is the per-node AODV routing table.
 type Table struct {
-	sched   *sim.Scheduler
+	sched   *sim.Scheduler //manetsim:resetsafe scheduler binding lives as long as the table
 	entries map[pkt.NodeID]*Route
 	timeout sim.Time // active route timeout
 }
@@ -98,14 +100,19 @@ func (t *Table) Invalidate(dst pkt.NodeID) bool {
 
 // InvalidateNextHop tears down every valid route whose next hop is nh and
 // returns the affected destinations with their bumped sequence numbers.
+// Destinations are sorted so the RERR payload built from them is
+// independent of map iteration order.
 func (t *Table) InvalidateNextHop(nh pkt.NodeID) (dsts []pkt.NodeID, seqs []uint32) {
 	for dst, r := range t.entries {
 		if r.Valid && r.NextHop == nh {
 			r.Valid = false
 			r.SeqNo++
 			dsts = append(dsts, dst)
-			seqs = append(seqs, r.SeqNo)
 		}
+	}
+	slices.Sort(dsts)
+	for _, dst := range dsts {
+		seqs = append(seqs, t.entries[dst].SeqNo)
 	}
 	return dsts, seqs
 }

@@ -446,6 +446,10 @@ func (s *scenarioState) start() {
 	for fi := range s.flows {
 		fi := fi
 		jitter := sim.Time(s.sched.Rand().Int63n(int64(10 * time.Millisecond)))
+		// Scheduled once per flow at run start, not per packet; the closure
+		// captures the flow index alongside the state, so the closure-free
+		// form would allocate an argument struct instead.
+		//manetsim:allow hotpathalloc
 		s.sched.At(s.flows[fi].Start+jitter, func() {
 			if s.plane != nil && s.plane.NodeDown(s.flows[fi].Src) {
 				// Start time arrived mid-crash: the application launches

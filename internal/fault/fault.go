@@ -197,8 +197,12 @@ type NodeCrash struct {
 // Schedule implements Fault.
 func (f NodeCrash) Schedule(env Env) {
 	pl, id := env.Plane, f.Node
+	// One-time fault setup at build, not the per-frame hot path; the
+	// closures capture two values, so AtFunc would allocate just the same.
+	//manetsim:allow hotpathalloc
 	env.Sched.At(f.At, func() { pl.CrashNode(id) })
 	if f.Downtime > 0 {
+		//manetsim:allow hotpathalloc
 		env.Sched.At(f.At+f.Downtime, func() { pl.RestoreNode(id) })
 	}
 }
@@ -218,6 +222,8 @@ type LinkBlackout struct {
 func (f LinkBlackout) Schedule(env Env) {
 	pl, a, b := env.Plane, f.From, f.To
 	bidir := f.Bidirectional
+	// One-time fault setup; multi-value capture (see NodeCrash.Schedule).
+	//manetsim:allow hotpathalloc
 	env.Sched.At(f.At, func() {
 		pl.BlockLink(a, b)
 		if bidir {
@@ -225,6 +231,7 @@ func (f LinkBlackout) Schedule(env Env) {
 		}
 	})
 	if f.Duration > 0 {
+		//manetsim:allow hotpathalloc
 		env.Sched.At(f.At+f.Duration, func() {
 			pl.UnblockLink(a, b)
 			if bidir {
@@ -264,8 +271,11 @@ func (f Partition) Schedule(env Env) {
 		}
 	}
 	pl := env.Plane
+	// One-time fault setup; multi-value capture (see NodeCrash.Schedule).
+	//manetsim:allow hotpathalloc
 	env.Sched.At(f.At, func() { pl.StartPartition(side) })
 	if f.Duration > 0 {
+		//manetsim:allow hotpathalloc
 		env.Sched.At(f.At+f.Duration, func() { pl.Heal() })
 	}
 }

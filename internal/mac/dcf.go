@@ -57,10 +57,10 @@ type txItem struct {
 
 // DCF is the per-node 802.11 MAC entity.
 type DCF struct {
-	sched        *sim.Scheduler
+	sched        *sim.Scheduler //manetsim:resetsafe scheduler binding lives as long as the MAC
 	radio        *phy.Radio
 	timing       Timing
-	cb           Callbacks
+	cb           Callbacks //manetsim:resetsafe wiring to the owning node; rebound only when the node is rebuilt
 	qcap         int
 	rtsThreshold int
 
@@ -104,7 +104,7 @@ type DCF struct {
 	// freeFrame recycles this node's transmitted frames once the channel
 	// releases them, so steady-state traffic builds frames without
 	// allocating.
-	freeFrame *Frame
+	freeFrame *Frame //manetsim:resetsafe freelist survives resets; frames are re-zeroed on release
 
 	Counters Counters
 }
@@ -279,6 +279,8 @@ func (d *DCF) QueueLen() int { return len(d.queue) }
 // Enqueue submits a network packet for transmission to nextHop (or
 // pkt.Broadcast). It reports false when the interface queue is full and
 // the packet was dropped.
+//
+//manetsim:hotpath
 func (d *DCF) Enqueue(p *pkt.Packet, nextHop pkt.NodeID) bool {
 	if d.down {
 		// Crashed interface: consume and discard without counting — the
@@ -437,6 +439,8 @@ func (d *DCF) onDeferDone() {
 }
 
 // TxDone implements phy.Handler.
+//
+//manetsim:hotpath
 func (d *DCF) TxDone() {
 	if d.respInFlight {
 		d.respInFlight = false

@@ -37,12 +37,12 @@ var DefaultPower = Power{Tx: 1.4, Rx: 0.9, Idle: 0.74}
 // Node is one network node with its full protocol stack. Create with New,
 // then install a Router with SetRouter before traffic flows.
 type Node struct {
-	ID     pkt.NodeID
-	Radio  *phy.Radio
+	ID     pkt.NodeID //manetsim:resetsafe node identity is fixed at construction
+	Radio  *phy.Radio //manetsim:resetsafe radio wiring; the channel resets radios
 	MAC    *mac.DCF
 	router Router
 
-	sched *sim.Scheduler
+	sched *sim.Scheduler //manetsim:resetsafe scheduler binding lives as long as the node
 
 	tcpSenders map[int]tcp.Sender
 	tcpSinks   map[int]*tcp.Sink
@@ -50,7 +50,7 @@ type Node struct {
 
 	// output is the cached transport-layer output closure (see Output). It
 	// reads n.router dynamically, so it survives router swaps and resets.
-	output func(p *pkt.Packet)
+	output func(p *pkt.Packet) //manetsim:resetsafe cached closure reads n.router dynamically, so it survives resets
 
 	// OnFlowDelivery observes per-flow goodput advancement (new in-order
 	// packets at a local sink). The core layer uses it for batch breaks.

@@ -81,7 +81,7 @@ type neighbor struct {
 // scenarios refresh positions on a scheduled epoch tick.
 type Channel struct {
 	sched  *sim.Scheduler
-	radios []*Radio
+	radios []*Radio //manetsim:resetsafe radio set persists; Reset rewinds each radio in place
 	// NoCapture disables the 10 dB capture effect, making any overlapping
 	// signal within interference range lethal (the ablation model).
 	NoCapture bool
@@ -106,15 +106,15 @@ type Channel struct {
 
 	// Scratch for refreshPositions: the radios that moved this epoch and
 	// their previous positions. Reused across epochs, never escapes.
-	moved    []*Radio
-	movedOld []geo.Point
+	moved    []*Radio    //manetsim:resetsafe scratch, truncated at the start of every epoch tick
+	movedOld []geo.Point //manetsim:resetsafe scratch, truncated alongside moved
 
 	// Freelists for the per-transmission hot-path objects. A transmission
 	// to k neighbors needs one txRecord and k signals; all of them are
 	// recycled as their signal-end events retire, so steady-state traffic
 	// does not allocate.
-	freeSignal *signal
-	freeTx     *txRecord
+	freeSignal *signal   //manetsim:resetsafe freelist survives resets; only retired signals are linked in
+	freeTx     *txRecord //manetsim:resetsafe freelist survives resets, same discipline as freeSignal
 }
 
 // NewChannel creates a channel for nodes frozen at the given positions and
@@ -305,11 +305,17 @@ func (c *Channel) markNear(p geo.Point) {
 // from the spatial grid when an epoch tick dirtied it. Entries are
 // ordered by node id so event scheduling — and therefore whole runs — stay
 // deterministic regardless of grid-map iteration order.
+//
+//manetsim:hotpath
 func (c *Channel) neighborsOf(r *Radio) []neighbor {
 	if r.nbValid {
 		return r.nbCache
 	}
 	r.nbCache = r.nbCache[:0]
+	// The capturing visitor below runs only on the rebuild path (cache
+	// miss after an epoch tick); the steady state returns the cached slice
+	// above without allocating.
+	//manetsim:allow hotpathalloc rebuild path, amortized by the neighbor cache
 	c.grid.forNear(r.pos, CSRange, func(other *Radio) {
 		if other == r {
 			return
@@ -567,6 +573,8 @@ func (r *Radio) RxTime() time.Duration { return r.rxTime }
 // unconditionally, exactly like hardware. TxDone fires on the handler when
 // the transmission completes. Reachability, propagation delay and received
 // power are snapshotted at transmission start from the current positions.
+//
+//manetsim:hotpath
 func (r *Radio) Transmit(frame any, airtime time.Duration) {
 	now := r.ch.sched.Now()
 	if r.Transmitting() {

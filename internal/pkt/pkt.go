@@ -137,7 +137,7 @@ func (p *Packet) String() string {
 // single-threaded simulation.
 type Pool struct {
 	nextUID uint64
-	free    *Packet
+	free    *Packet //manetsim:resetsafe freelist survives resets; Release re-zeroes blocks on the way in
 }
 
 // UIDSource is the historical name of Pool, kept for call sites that only
@@ -160,6 +160,8 @@ func (u *Pool) Reset() { u.nextUID = 0 }
 // get pops a recycled block (or allocates one) and stamps the common
 // pooled-packet state. The UID is drawn here, so pooled construction keeps
 // the exact id sequence of the old literal construction sites.
+//
+//manetsim:hotpath
 func (u *Pool) get() *Packet {
 	p := u.free
 	if p != nil {
@@ -207,6 +209,8 @@ func (p *Packet) Retain() {
 // pool. Releasing a literal (non-pooled) packet is a no-op. Over-releasing
 // panics — silently recycling a live packet would corrupt the simulation
 // far from the bug.
+//
+//manetsim:hotpath
 func (p *Packet) Release() {
 	pl := p.pool
 	if pl == nil {

@@ -77,7 +77,7 @@ type Scheduler struct {
 	heap    []*Event
 	free    *Event
 	src     rand.Source
-	rng     *rand.Rand
+	rng     *rand.Rand //manetsim:resetsafe identity kept across resets; reseeding src restarts its stream
 	stopped bool
 	// dispatched counts events that have fired (for diagnostics and tests).
 	dispatched uint64
@@ -167,6 +167,8 @@ func (s *Scheduler) At(t Time, fn func()) EventRef {
 // AtFunc schedules fn(arg) at absolute time t. Unlike At, the callback is a
 // plain function plus an argument, so hot paths schedule without allocating
 // a closure.
+//
+//manetsim:hotpath
 func (s *Scheduler) AtFunc(t Time, fn func(any), arg any) EventRef {
 	if fn == nil {
 		panic("sim: scheduling nil callback")
@@ -208,6 +210,8 @@ func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // Step executes the single earliest pending event. It returns false when
 // the queue is empty.
+//
+//manetsim:hotpath
 func (s *Scheduler) Step() bool {
 	if len(s.heap) == 0 {
 		return false

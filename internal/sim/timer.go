@@ -10,7 +10,7 @@ package sim
 // itself as the callback argument.
 type Timer struct {
 	sched    *Scheduler
-	fn       func()
+	fn       func() //manetsim:resetsafe Reset means rearm; the callback is bound for the timer's lifetime
 	ref      EventRef
 	deadline Time
 }

@@ -14,11 +14,11 @@ import (
 // ready; create with NewDurationHistogram.
 type DurationHistogram struct {
 	samples []time.Duration
-	cap     int
+	cap     int   //manetsim:resetsafe reservoir capacity is a construction parameter
 	n       int64 // total observations
 	sum     time.Duration
 	max     time.Duration
-	rng     func(int64) int64 // injected for determinism
+	rng     func(int64) int64 //manetsim:resetsafe injected rng binding stays valid across a scheduler reseed
 }
 
 // NewDurationHistogram creates a histogram keeping at most cap samples

@@ -130,9 +130,9 @@ func StudentT975(df int) float64 {
 // to use; call Set on every change and Finish (or AverageAt) to read the
 // mean. Samples before the first Set are ignored.
 type TimeWeighted struct {
-	started  bool
+	started  bool //manetsim:resetsafe Reset is per-batch: the signal keeps accumulating from its current value
 	lastT    time.Duration
-	lastV    float64
+	lastV    float64 //manetsim:resetsafe current value deliberately carries across batch resets
 	integral float64
 	span     time.Duration
 }

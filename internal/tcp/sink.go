@@ -77,9 +77,9 @@ type SinkStats struct {
 // Sink is the TCP receiver: it reassembles the in-order stream, generates
 // cumulative ACKs under the configured policy, and accounts goodput.
 type Sink struct {
-	sched *sim.Scheduler
+	sched *sim.Scheduler //manetsim:resetsafe scheduler binding lives as long as the sink
 	out   Output
-	uids  *pkt.UIDSource
+	uids  *pkt.UIDSource //manetsim:resetsafe pool binding; the pool resets itself
 
 	flow     int
 	src, dst pkt.NodeID // src = this sink's node, dst = the sender

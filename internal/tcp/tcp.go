@@ -255,10 +255,10 @@ func (b *CCBase) GrowAIMD(newly int64, ssthresh float64) {
 // policy is delegated to the CongestionControl strategy bound at
 // construction.
 type Engine struct {
-	sched *sim.Scheduler
+	sched *sim.Scheduler //manetsim:resetsafe scheduler binding lives as long as the engine
 	cfg   Config
 	out   Output
-	uids  *pkt.UIDSource
+	uids  *pkt.UIDSource //manetsim:resetsafe pool binding; the pool resets itself
 	cc    CongestionControl
 
 	// afterAck is the pre-bound optional ackFinisher hook (nil for most
@@ -483,6 +483,8 @@ func (e *Engine) Resume() {
 // HandleAck processes a cumulative acknowledgment: the engine classifies
 // it (advance, duplicate, or stale) and delegates the reaction to the
 // strategy, then refills the window.
+//
+//manetsim:hotpath
 func (e *Engine) HandleAck(p *pkt.Packet) {
 	if p.TCP == nil || e.halted {
 		return
@@ -576,6 +578,8 @@ func (e *Engine) pump() {
 
 // transmit puts one data packet on the network. A packet below the highest
 // sequence ever sent is a retransmission.
+//
+//manetsim:hotpath
 func (e *Engine) transmit(seq int64) {
 	now := e.sched.Now()
 	isRtx := seq < e.maxSeq

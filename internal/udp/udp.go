@@ -16,9 +16,9 @@ import (
 
 // Sender is the paced (CBR) UDP source.
 type Sender struct {
-	sched *sim.Scheduler
+	sched *sim.Scheduler //manetsim:resetsafe scheduler binding lives as long as the sender
 	out   func(p *pkt.Packet)
-	uids  *pkt.UIDSource
+	uids  *pkt.UIDSource //manetsim:resetsafe pool binding; the pool resets itself
 
 	flow     int
 	src, dst pkt.NodeID
